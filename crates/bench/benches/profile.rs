@@ -1,0 +1,20 @@
+//! PISA profile extraction throughput (the "kernel analysis" phase).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use napel_pisa::ApplicationProfile;
+use napel_workloads::{Scale, Workload};
+
+fn bench_profile(c: &mut Criterion) {
+    let trace = Workload::Gemv.generate(&[1250.0, 16.0, 80.0], Scale::laptop());
+    let insts = trace.total_insts();
+    let mut g = c.benchmark_group("profile");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(insts as u64));
+    g.bench_function("gemv_central", |b| {
+        b.iter(|| ApplicationProfile::of(&trace))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_profile);
+criterion_main!(benches);

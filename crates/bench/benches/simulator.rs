@@ -1,0 +1,38 @@
+//! Simulator throughput: cycles-level simulation of a fixed kernel trace
+//! under the Table 3 architecture and variants.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use napel_workloads::{Scale, Workload};
+use nmc_sim::{ArchConfig, NmcSystem, RowPolicy};
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = Workload::Atax.generate(&[1500.0, 16.0], Scale::laptop());
+    let insts = trace.total_insts();
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(insts as u64));
+
+    g.bench_function("atax_central_closed_row", |b| {
+        b.iter_batched(
+            || NmcSystem::new(ArchConfig::paper_default()),
+            |sys| sys.run(&trace),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("atax_central_open_row", |b| {
+        b.iter_batched(
+            || {
+                NmcSystem::new(ArchConfig {
+                    row_policy: RowPolicy::Open,
+                    ..ArchConfig::paper_default()
+                })
+            },
+            |sys| sys.run(&trace),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

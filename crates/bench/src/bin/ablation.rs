@@ -1,0 +1,77 @@
+//! Design-choice ablations: CCD vs LHS vs random sampling, forest size,
+//! feature screening, the atax cache/scratchpad what-if, and row policy.
+
+use napel_bench::Options;
+use napel_core::experiments::ablation;
+use napel_workloads::Workload;
+
+fn main() {
+    let opts = Options::from_env();
+
+    eprintln!("running sampler ablation ({:?})...", opts.scale);
+    let samplers = ablation::sampler_ablation(&Workload::ALL, opts.scale, opts.seed)
+        .expect("sampler ablation");
+
+    eprintln!("running forest-size sweep...");
+    let set = ablation::collect_with_sampler(
+        &Workload::ALL,
+        ablation::Sampler::Ccd,
+        opts.scale,
+        opts.seed,
+    );
+    let sweep = ablation::forest_size_sweep(&set, &[10, 30, 60, 120, 240], opts.seed)
+        .expect("forest sweep");
+
+    println!("Ablations: training-point sampler and forest size\n");
+    print!("{}", ablation::render(&samplers, &sweep));
+
+    eprintln!("running feature-screening ablation...");
+    let screening =
+        ablation::screening_ablation(&set, &[10, 30, 100], opts.seed).expect("screening");
+    println!("\nFeature screening (top-k by permutation importance):");
+    for p in &screening {
+        let kept = if p.kept == usize::MAX {
+            "all".to_string()
+        } else {
+            p.kept.to_string()
+        };
+        println!("  keep {:>4}  perf MRE {:.1}%", kept, p.perf_mre * 100.0);
+    }
+
+    eprintln!("running the atax cache/scratchpad what-if...");
+    println!("\natax NMC L1 size what-if (Section 3.4's closing observation):");
+    for p in ablation::cache_size_sweep(Workload::Atax, &[2, 8, 32, 128], opts.scale) {
+        println!(
+            "  {:>4} lines ({:>5} B)  IPC {:.3}  EDP {:.3e} J*s",
+            p.cache_lines,
+            p.cache_lines * 64,
+            p.ipc,
+            p.edp
+        );
+    }
+
+    eprintln!("running the offload-cost sensitivity study...");
+    println!("\noffload-cost sensitivity (one-time SerDes transfer of the footprint):");
+    for r in ablation::offload_sensitivity(&Workload::ALL, opts.scale) {
+        println!(
+            "  {:<5} resident EDP {:.3e}  with transfer {:.3e}  (x{:.2})",
+            r.workload.name(),
+            r.edp_resident,
+            r.edp_with_offload,
+            r.inflation()
+        );
+    }
+
+    eprintln!("running the row-policy study...");
+    println!("\nclosed- vs open-row EDP (J*s) at central configurations:");
+    for (w, closed, open) in ablation::row_policy_study(&Workload::ALL, opts.scale) {
+        let better = if open < closed { "open" } else { "closed" };
+        println!(
+            "  {:<5} closed {:.3e}  open {:.3e}  -> {}",
+            w.name(),
+            closed,
+            open,
+            better
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 4 (NAPEL prediction speedup over simulation for a
+//! design-space sweep of architecture configurations).
+
+use napel_bench::Options;
+use napel_core::experiments::{fig4, Context};
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!("collecting training data ({:?})...", opts.scale);
+    let ctx = Context::build(opts.scale, opts.seed);
+    eprintln!("timing {} configurations per application...", opts.configs);
+    let rows = fig4::run(&ctx, &opts.napel_config(), opts.configs).expect("fig 4 run");
+    println!("Figure 4: prediction speedup over the simulator (increasing order)\n");
+    print!("{}", fig4::render(&rows));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 5 (leave-one-application-out MRE of NAPEL vs an ANN
+//! vs a linear decision tree, for performance and energy).
+
+use napel_bench::Options;
+use napel_core::experiments::{fig5, Context};
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!("collecting training data ({:?})...", opts.scale);
+    let ctx = Context::build(opts.scale, opts.seed);
+    eprintln!("running leave-one-application-out comparisons...");
+    let result = fig5::run(&ctx).expect("fig 5 run");
+    println!("Figure 5: mean relative error, performance (a) and energy (b)\n");
+    print!("{}", fig5::render(&result));
+}

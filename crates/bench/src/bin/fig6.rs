@@ -1,0 +1,13 @@
+//! Regenerates Figure 6 (execution time and energy on the host model).
+
+use napel_bench::Options;
+use napel_core::experiments::fig6;
+use napel_workloads::Workload;
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!("evaluating test inputs on the host model...");
+    let rows = fig6::run(&Workload::ALL, opts.scale);
+    println!("Figure 6: execution time and energy on the POWER9-class host\n");
+    print!("{}", fig6::render(&rows));
+}

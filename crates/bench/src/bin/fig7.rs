@@ -1,0 +1,15 @@
+//! Regenerates Figure 7 (estimated EDP reduction of NMC offloading vs the
+//! host; NAPEL prediction next to the simulator's "Actual").
+
+use napel_bench::Options;
+use napel_core::experiments::{fig7, Context};
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!("collecting training data ({:?})...", opts.scale);
+    let ctx = Context::build(opts.scale, opts.seed);
+    eprintln!("running the NMC-suitability analysis...");
+    let result = fig7::run(&ctx, &opts.napel_config()).expect("fig 7 run");
+    println!("Figure 7: EDP reduction of NMC offloading vs host execution\n");
+    print!("{}", fig7::render(&result));
+}

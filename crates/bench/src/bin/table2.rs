@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (evaluated applications and DoE parameter levels).
+
+fn main() {
+    println!("Table 2: evaluated applications and their DoE parameters\n");
+    print!("{}", napel_core::experiments::table2::render());
+}

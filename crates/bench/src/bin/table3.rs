@@ -1,0 +1,9 @@
+//! Regenerates Table 3 (system parameters and configuration).
+
+use napel_bench::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    println!("Table 3: system parameters and configuration\n");
+    print!("{}", napel_core::experiments::table3::render(opts.scale));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 4 (DoE configuration counts, training and prediction
+//! times). Times are seconds on this substrate; the paper reports minutes
+//! on a server — see EXPERIMENTS.md for the side-by-side.
+
+use napel_bench::Options;
+use napel_core::experiments::{table4, Context};
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!("collecting training data ({:?})...", opts.scale);
+    let ctx = Context::build(opts.scale, opts.seed);
+    eprintln!("running per-application timings...");
+    let rows = table4::run(&ctx, &opts.napel_config()).expect("table 4 run");
+    println!("Table 4: DoE configurations and training/prediction time\n");
+    print!("{}", table4::render(&rows));
+}

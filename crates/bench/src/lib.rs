@@ -1,0 +1,148 @@
+//! Harness support for the table/figure regenerator binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! - `--scale laptop|tiny|unit` — workload input scale (default `laptop`),
+//! - `--quick` — skip hyper-parameter tuning (single forest configuration),
+//! - `--seed N` — RNG seed (default 25019, "DAC 2019"),
+//! - `--configs N` — architecture configurations for Figure 4 (default 256).
+//!
+//! Run them as `cargo run --release -p napel-bench --bin fig5 -- --quick`.
+
+use napel_core::model::NapelConfig;
+use napel_workloads::Scale;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Skip tuning.
+    pub quick: bool,
+    /// RNG seed.
+    pub seed: u64,
+    /// Figure 4 architecture-configuration count.
+    pub configs: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: Scale::laptop(),
+            quick: false,
+            seed: 25019,
+            configs: 256,
+        }
+    }
+}
+
+impl Options {
+    /// Parses options from an argument iterator (binary name excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or malformed values —
+    /// appropriate for a CLI entry point.
+    pub fn parse(args: impl Iterator<Item = String>) -> Options {
+        let mut opts = Options::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    opts.scale = match v.as_str() {
+                        "laptop" => Scale::laptop(),
+                        "tiny" => Scale::tiny(),
+                        "unit" => Scale::unit(),
+                        other => panic!("unknown scale `{other}` (laptop|tiny|unit)"),
+                    };
+                }
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be an integer");
+                }
+                "--configs" => {
+                    opts.configs = args
+                        .next()
+                        .expect("--configs needs a value")
+                        .parse()
+                        .expect("--configs must be an integer");
+                }
+                other => panic!("unknown flag `{other}`"),
+            }
+        }
+        opts
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Options {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The NAPEL training configuration implied by the options.
+    pub fn napel_config(&self) -> NapelConfig {
+        if self.quick {
+            NapelConfig {
+                seed: self.seed,
+                ..NapelConfig::untuned()
+            }
+        } else {
+            NapelConfig {
+                seed: self.seed,
+                ..NapelConfig::default()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o, Options::default());
+        assert_eq!(o.scale, Scale::laptop());
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn all_flags() {
+        let o = parse(&[
+            "--scale",
+            "tiny",
+            "--quick",
+            "--seed",
+            "7",
+            "--configs",
+            "16",
+        ]);
+        assert_eq!(o.scale, Scale::tiny());
+        assert!(o.quick);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.configs, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--frobnicate"]);
+    }
+
+    #[test]
+    fn quick_config_has_single_candidate() {
+        let o = parse(&["--quick"]);
+        assert_eq!(o.napel_config().grid.len(), 1);
+        let o = parse(&[]);
+        assert!(o.napel_config().grid.len() > 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Accuracy analysis (Section 3.3) and the NMC-suitability use case
+//! (Section 3.4).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use napel_ml::metrics::mean_relative_error;
+use napel_ml::{Estimator, Regressor};
+use napel_pisa::ApplicationProfile;
+use napel_workloads::{Scale, Workload};
+use nmc_sim::{ArchConfig, NmcSystem};
+
+use napel_hostmodel::HostModel;
+
+use crate::features::TrainingSet;
+use crate::model::{Napel, NapelConfig};
+use crate::NapelError;
+
+/// Leave-one-application-out accuracy of one estimator for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoaoResult {
+    /// The held-out application.
+    pub workload: Workload,
+    /// MRE of IPC predictions on the held-out application.
+    pub perf_mre: f64,
+    /// MRE of energy predictions on the held-out application.
+    pub energy_mre: f64,
+}
+
+/// Leave-one-application-out evaluation of an arbitrary estimator — the
+/// protocol of Section 3.3: "every time we test for a particular
+/// application, we do not include it in the training set".
+///
+/// # Errors
+///
+/// Returns [`NapelError`] if the set holds fewer than two applications or
+/// an estimator fails to fit.
+pub fn loao_accuracy<E: Estimator>(
+    estimator: &E,
+    set: &TrainingSet,
+    seed: u64,
+) -> Result<Vec<LoaoResult>, NapelError> {
+    let workloads = set.workloads();
+    if workloads.len() < 2 {
+        return Err(NapelError::BadTrainingSet {
+            what: "leave-one-application-out needs at least two applications".into(),
+        });
+    }
+    let mut out = Vec::with_capacity(workloads.len());
+    for &held_out in &workloads {
+        let train = set.filtered(|w| w != held_out);
+        let test = set.filtered(|w| w == held_out);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let perf_model = estimator.fit(&train.ipc_dataset()?, &mut rng)?;
+        let energy_model = estimator.fit(&train.energy_dataset()?, &mut rng)?;
+
+        let perf_pred: Vec<f64> = test
+            .runs
+            .iter()
+            .map(|r| perf_model.predict_one(&r.features))
+            .collect();
+        let perf_actual: Vec<f64> = test.runs.iter().map(|r| r.ipc).collect();
+        let energy_pred: Vec<f64> = test
+            .runs
+            .iter()
+            .map(|r| energy_model.predict_one(&r.features))
+            .collect();
+        let energy_actual: Vec<f64> = test.runs.iter().map(|r| r.energy_per_inst_pj).collect();
+
+        out.push(LoaoResult {
+            workload: held_out,
+            perf_mre: mean_relative_error(&perf_pred, &perf_actual),
+            energy_mre: mean_relative_error(&energy_pred, &energy_actual),
+        });
+    }
+    Ok(out)
+}
+
+/// Mean over per-application MREs.
+pub fn average_mre(results: &[LoaoResult]) -> (f64, f64) {
+    let n = results.len().max(1) as f64;
+    (
+        results.iter().map(|r| r.perf_mre).sum::<f64>() / n,
+        results.iter().map(|r| r.energy_mre).sum::<f64>() / n,
+    )
+}
+
+/// One workload's row of the Figure 6/7 analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuitabilityRow {
+    /// The workload, evaluated at its Table 2 *test* input.
+    pub workload: Workload,
+    /// Host execution time, seconds (Figure 6).
+    pub host_time_s: f64,
+    /// Host energy, joules (Figure 6).
+    pub host_energy_j: f64,
+    /// NAPEL-predicted NMC execution time, seconds.
+    pub nmc_pred_time_s: f64,
+    /// NAPEL-predicted NMC energy, joules.
+    pub nmc_pred_energy_j: f64,
+    /// Simulated ("Actual") NMC execution time, seconds.
+    pub nmc_actual_time_s: f64,
+    /// Simulated NMC energy, joules.
+    pub nmc_actual_energy_j: f64,
+}
+
+impl SuitabilityRow {
+    /// Estimated EDP reduction `EDP_host / EDP_NMC` from NAPEL's
+    /// prediction (the "NAPEL" bar of Figure 7). Values above 1 mean the
+    /// workload is NMC-suitable.
+    pub fn edp_reduction_predicted(&self) -> f64 {
+        (self.host_time_s * self.host_energy_j) / (self.nmc_pred_time_s * self.nmc_pred_energy_j)
+    }
+
+    /// EDP reduction from the simulator (the "Actual" bar of Figure 7).
+    pub fn edp_reduction_actual(&self) -> f64 {
+        (self.host_time_s * self.host_energy_j)
+            / (self.nmc_actual_time_s * self.nmc_actual_energy_j)
+    }
+
+    /// Relative error of NAPEL's EDP estimate vs the simulator's.
+    pub fn edp_mre(&self) -> f64 {
+        let pred = self.edp_reduction_predicted();
+        let actual = self.edp_reduction_actual();
+        (pred - actual).abs() / actual.abs().max(1e-12)
+    }
+
+    /// Whether NAPEL and the simulator agree on NMC suitability
+    /// (the paper's first observation on Figure 7).
+    pub fn suitability_agrees(&self) -> bool {
+        (self.edp_reduction_predicted() > 1.0) == (self.edp_reduction_actual() > 1.0)
+    }
+}
+
+/// Runs the Section 3.4 use case for every workload in `set`: train NAPEL
+/// without the workload, predict its *test*-input EDP on `arch`, compare
+/// against simulation and the host model.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn nmc_suitability(
+    set: &TrainingSet,
+    config: &NapelConfig,
+    arch: &ArchConfig,
+    scale: Scale,
+) -> Result<Vec<SuitabilityRow>, NapelError> {
+    let host = HostModel::power9(scale);
+    let mut rows = Vec::new();
+    for held_out in set.workloads() {
+        let train = set.filtered(|w| w != held_out);
+        let trained = Napel::new(config.clone()).train(&train)?;
+
+        let trace = held_out.generate_test(scale);
+        let profile = ApplicationProfile::of(&trace);
+        let instructions = trace.total_insts() as u64;
+
+        let pred = trained.predict(&profile, arch);
+        let report = NmcSystem::new(arch.clone()).run(&trace);
+        let host_report = host.evaluate(&profile);
+
+        rows.push(SuitabilityRow {
+            workload: held_out,
+            host_time_s: host_report.exec_time_seconds,
+            host_energy_j: host_report.energy_joules,
+            nmc_pred_time_s: pred.exec_time_seconds(instructions),
+            nmc_pred_energy_j: pred.energy_joules(instructions),
+            nmc_actual_time_s: report.exec_time_seconds(),
+            nmc_actual_energy_j: report.energy_joules(),
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect, CollectionPlan};
+    use napel_ml::forest::RandomForestParams;
+
+    fn small_set() -> TrainingSet {
+        collect(&CollectionPlan {
+            workloads: vec![Workload::Atax, Workload::Gemv, Workload::Mvt],
+            scale: Scale::tiny(),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn loao_covers_every_workload_once() {
+        let set = small_set();
+        let results = loao_accuracy(&RandomForestParams::default(), &set, 7).unwrap();
+        assert_eq!(results.len(), 3);
+        let names: Vec<&str> = results.iter().map(|r| r.workload.name()).collect();
+        assert_eq!(names, vec!["atax", "gemv", "mvt"]);
+        for r in &results {
+            assert!(r.perf_mre.is_finite() && r.perf_mre >= 0.0);
+            assert!(r.energy_mre.is_finite() && r.energy_mre >= 0.0);
+        }
+    }
+
+    #[test]
+    fn loao_needs_two_apps() {
+        let set = small_set().filtered(|w| w == Workload::Atax);
+        let err = loao_accuracy(&RandomForestParams::default(), &set, 7).unwrap_err();
+        assert!(matches!(err, NapelError::BadTrainingSet { .. }));
+    }
+
+    #[test]
+    fn average_mre_averages() {
+        let results = vec![
+            LoaoResult {
+                workload: Workload::Atax,
+                perf_mre: 0.1,
+                energy_mre: 0.2,
+            },
+            LoaoResult {
+                workload: Workload::Gemv,
+                perf_mre: 0.3,
+                energy_mre: 0.4,
+            },
+        ];
+        let (p, e) = average_mre(&results);
+        assert!((p - 0.2).abs() < 1e-12);
+        assert!((e - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suitability_rows_are_consistent() {
+        let set = small_set();
+        let rows = nmc_suitability(
+            &set,
+            &NapelConfig::untuned(),
+            &ArchConfig::paper_default(),
+            Scale::tiny(),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.host_time_s > 0.0 && r.host_energy_j > 0.0,
+                "{:?}",
+                r.workload
+            );
+            assert!(r.nmc_actual_time_s > 0.0 && r.nmc_actual_energy_j > 0.0);
+            assert!(r.nmc_pred_time_s > 0.0 && r.nmc_pred_energy_j > 0.0);
+            assert!(r.edp_reduction_actual().is_finite());
+            assert!(r.edp_mre().is_finite());
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Phase ② — the DoE-driven simulation campaign.
+//!
+//! For every workload, the Table 2 parameter space is sampled by the
+//! central composite design (11/19/31 configurations, Table 4); each
+//! selected configuration is executed (trace generation), characterized
+//! (PISA profile), and simulated on every architecture configuration in
+//! the plan to produce labeled training rows.
+
+use std::time::Instant;
+
+use napel_doe::ccd::{central_composite, CcdOptions};
+use napel_doe::{DesignPoint, ParamDef, ParamSpace};
+use napel_pisa::ApplicationProfile;
+use napel_workloads::{Scale, Workload, WorkloadSpec};
+use nmc_sim::{ArchConfig, NmcSystem};
+
+use crate::features::{combined_feature_names, CollectStats, LabeledRun, TrainingSet};
+
+/// What to simulate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionPlan {
+    /// Applications to collect training data for.
+    pub workloads: Vec<Workload>,
+    /// Architecture configurations each DoE point runs on.
+    pub arch_configs: Vec<ArchConfig>,
+    /// Input-shrinking policy.
+    pub scale: Scale,
+    /// Deduplicate coincident CCD points (center replicates) before
+    /// simulating — our simulator is deterministic, so re-running the
+    /// center adds time but no information. Table 4 counts include the
+    /// replicates either way.
+    pub dedup: bool,
+}
+
+impl Default for CollectionPlan {
+    fn default() -> Self {
+        CollectionPlan {
+            workloads: Workload::ALL.to_vec(),
+            arch_configs: vec![ArchConfig::paper_default()],
+            scale: Scale::laptop(),
+            dedup: true,
+        }
+    }
+}
+
+/// Converts a Table 2 spec into a DoE parameter space.
+///
+/// # Panics
+///
+/// Panics if a spec's levels are not strictly increasing (a `napel-workloads`
+/// invariant, tested there).
+pub fn param_space(spec: &WorkloadSpec) -> ParamSpace {
+    let params: Vec<ParamDef> = spec
+        .params
+        .iter()
+        .map(|p| ParamDef::integer(p.name, p.levels).expect("Table 2 levels are sorted"))
+        .collect();
+    ParamSpace::new(params).expect("Table 2 workloads have parameters")
+}
+
+/// The CCD design points for a workload, with the paper's replication rule.
+pub fn doe_points(spec: &WorkloadSpec, dedup: bool) -> Vec<DesignPoint> {
+    let space = param_space(spec);
+    let design = central_composite(&space, &CcdOptions::paper_defaults(&space));
+    if dedup {
+        design.unique_points()
+    } else {
+        design.points().cloned().collect()
+    }
+}
+
+/// The paper's "#DoE conf." count for a workload (replicates included).
+pub fn doe_config_count(spec: &WorkloadSpec) -> usize {
+    let space = param_space(spec);
+    central_composite(&space, &CcdOptions::paper_defaults(&space)).len()
+}
+
+/// Runs the campaign of `plan`, returning the labeled training set.
+pub fn collect(plan: &CollectionPlan) -> TrainingSet {
+    let mut runs = Vec::new();
+    let mut stats = CollectStats::default();
+    for &w in &plan.workloads {
+        let (app_runs, app_stats) = collect_app(w, plan);
+        runs.extend(app_runs);
+        stats.generate_seconds += app_stats.generate_seconds;
+        stats.profile_seconds += app_stats.profile_seconds;
+        stats.simulate_seconds += app_stats.simulate_seconds;
+    }
+    TrainingSet {
+        feature_names: combined_feature_names(),
+        runs,
+        stats,
+    }
+}
+
+/// Runs the campaign for a single application (used per-app by Table 4).
+pub fn collect_app(w: Workload, plan: &CollectionPlan) -> (Vec<LabeledRun>, CollectStats) {
+    let spec = w.spec();
+    let mut stats = CollectStats::default();
+    let mut runs = Vec::new();
+    for point in doe_points(&spec, plan.dedup) {
+        let t0 = Instant::now();
+        let trace = w.generate(point.coords(), plan.scale);
+        stats.generate_seconds += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let profile = ApplicationProfile::of(&trace);
+        stats.profile_seconds += t1.elapsed().as_secs_f64();
+
+        for arch in &plan.arch_configs {
+            let t2 = Instant::now();
+            let report = NmcSystem::new(arch.clone()).run(&trace);
+            stats.simulate_seconds += t2.elapsed().as_secs_f64();
+            runs.push(LabeledRun::from_report(
+                w,
+                point.coords().to_vec(),
+                &profile,
+                arch,
+                &report,
+            ));
+        }
+    }
+    (runs, stats)
+}
+
+/// A small architecture sweep around the Table 3 design, for training the
+/// model's architectural sensitivity (used by the DSE example and the
+/// ablation benches).
+pub fn arch_neighborhood() -> Vec<ArchConfig> {
+    let base = ArchConfig::paper_default();
+    vec![
+        base.clone(),
+        ArchConfig {
+            num_pes: 16,
+            ..base.clone()
+        },
+        ArchConfig {
+            freq_ghz: 2.5,
+            ..base.clone()
+        },
+        ArchConfig {
+            cache_lines: 8,
+            ..base.clone()
+        },
+        ArchConfig {
+            vaults: 16,
+            dram_layers: 4,
+            ..base.clone()
+        },
+        ArchConfig {
+            issue_width: 2,
+            ..base
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doe_counts_match_table4() {
+        let expected = [
+            (Workload::Atax, 11),
+            (Workload::Bfs, 31),
+            (Workload::Bp, 31),
+            (Workload::Chol, 19),
+            (Workload::Gemv, 19),
+            (Workload::Gesu, 19),
+            (Workload::Gram, 19),
+            (Workload::Kme, 31),
+            (Workload::Lu, 19),
+            (Workload::Mvt, 19),
+            (Workload::Syrk, 19),
+            (Workload::Trmm, 19),
+        ];
+        for (w, n) in expected {
+            assert_eq!(doe_config_count(&w.spec()), n, "{w}");
+        }
+    }
+
+    #[test]
+    fn dedup_removes_center_replicates_only() {
+        let spec = Workload::Atax.spec();
+        assert_eq!(doe_points(&spec, false).len(), 11);
+        assert_eq!(doe_points(&spec, true).len(), 9);
+    }
+
+    #[test]
+    fn collect_produces_labeled_rows() {
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax],
+            scale: Scale::tiny(),
+            ..Default::default()
+        };
+        let set = collect(&plan);
+        assert_eq!(set.runs.len(), 9); // deduped CCD x 1 arch
+        for r in &set.runs {
+            assert_eq!(r.workload, Workload::Atax);
+            assert!(r.ipc > 0.0, "IPC label must be positive");
+            assert!(r.energy_per_inst_pj > 0.0);
+            assert_eq!(r.features.len(), set.feature_names.len());
+        }
+        assert!(set.stats.simulate_seconds > 0.0);
+        assert!(set.stats.profile_seconds > 0.0);
+    }
+
+    #[test]
+    fn multiple_arch_configs_multiply_rows() {
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax],
+            arch_configs: arch_neighborhood(),
+            scale: Scale::tiny(),
+            dedup: true,
+        };
+        let set = collect(&plan);
+        assert_eq!(set.runs.len(), 9 * arch_neighborhood().len());
+        // Same profile, different arch features -> different labels for at
+        // least some pairs.
+        let ipcs: Vec<f64> = set.runs.iter().take(5).map(|r| r.ipc).collect();
+        let distinct = ipcs
+            .iter()
+            .filter(|&&a| ipcs.iter().filter(|&&b| (a - b).abs() > 1e-9).count() > 0)
+            .count();
+        assert!(distinct > 0, "architecture must influence IPC: {ipcs:?}");
+    }
+
+    #[test]
+    fn param_space_roundtrips_spec() {
+        let spec = Workload::Bfs.spec();
+        let space = param_space(&spec);
+        assert_eq!(space.dims(), 4);
+        assert_eq!(space.param(0).name(), "Nodes");
+        assert_eq!(space.param(0).levels()[2], 900e3);
+    }
+}

@@ -1,0 +1,72 @@
+//! Framework-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use napel_doe::DesignError;
+use napel_ml::MlError;
+
+/// Error from the NAPEL pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NapelError {
+    /// A design-of-experiments construction failed.
+    Design(DesignError),
+    /// An ML estimator failed to fit or validate.
+    Ml(MlError),
+    /// The training set is unusable for the requested operation.
+    BadTrainingSet {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for NapelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NapelError::Design(e) => write!(f, "design of experiments failed: {e}"),
+            NapelError::Ml(e) => write!(f, "model training failed: {e}"),
+            NapelError::BadTrainingSet { what } => write!(f, "bad training set: {what}"),
+        }
+    }
+}
+
+impl Error for NapelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NapelError::Design(e) => Some(e),
+            NapelError::Ml(e) => Some(e),
+            NapelError::BadTrainingSet { .. } => None,
+        }
+    }
+}
+
+impl From<DesignError> for NapelError {
+    fn from(e: DesignError) -> Self {
+        NapelError::Design(e)
+    }
+}
+
+impl From<MlError> for NapelError {
+    fn from(e: MlError) -> Self {
+        NapelError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: NapelError = MlError::EmptyDataset.into();
+        assert!(matches!(e, NapelError::Ml(_)));
+        assert!(e.source().is_some());
+        let e: NapelError = DesignError::EmptySpace.into();
+        assert!(e.to_string().contains("design of experiments"));
+        let e = NapelError::BadTrainingSet {
+            what: "only one application".into(),
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("only one application"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Ablations of NAPEL's design choices (this reproduction's additions).
+//!
+//! Questions the paper's design raises but does not quantify:
+//!
+//! 1. **Does CCD beat the other samplers?** Train on CCD points vs Latin
+//!    hypercube, uniform random, and D-optimal points of the *same budget*
+//!    and compare leave-one-application-out MRE ([`sampler_ablation`]).
+//! 2. **How many trees are enough?** Forest-size sweep
+//!    ([`forest_size_sweep`]).
+//! 3. **Does feature screening matter?** Full ~370-feature input vs the
+//!    top-k features by permutation importance ([`screening_ablation`]).
+//! 4. **Would a scratchpad help atax?** The paper's Section 3.4 closes by
+//!    suggesting that "the introduction of a small cache or scratchpad
+//!    memory in the NMC compute units (larger than the 128B L1) can be
+//!    beneficial" for atax-like workloads — [`cache_size_sweep`] runs that
+//!    what-if on the simulator.
+//! 5. **Closed- vs open-row DRAM policy** across the workloads
+//!    ([`row_policy_study`]).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use napel_doe::samplers::{d_optimal, latin_hypercube, random_design};
+use napel_ml::forest::RandomForestParams;
+use napel_ml::tree::{DecisionTreeParams, FeatureSubset};
+use napel_ml::Estimator;
+use napel_pisa::ApplicationProfile;
+use napel_workloads::{Scale, Workload};
+use nmc_sim::{ArchConfig, NmcSystem};
+
+use crate::analysis::{average_mre, loao_accuracy};
+use crate::collect::{doe_points, param_space};
+use crate::features::{combined_feature_names, LabeledRun, TrainingSet};
+use crate::NapelError;
+
+/// Training-point sampling strategies under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampler {
+    /// Central composite design (the paper's choice).
+    Ccd,
+    /// Latin hypercube with the same point budget (Li et al. in Table 5).
+    LatinHypercube,
+    /// Uniform random with the same point budget.
+    Random,
+    /// D-optimal design via Fedorov exchange (Joseph et al. / Mariani et
+    /// al. in Table 5).
+    DOptimal,
+}
+
+impl Sampler {
+    /// All strategies.
+    pub const ALL: [Sampler; 4] = [
+        Sampler::Ccd,
+        Sampler::LatinHypercube,
+        Sampler::Random,
+        Sampler::DOptimal,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sampler::Ccd => "ccd",
+            Sampler::LatinHypercube => "lhs",
+            Sampler::Random => "random",
+            Sampler::DOptimal => "d-optimal",
+        }
+    }
+}
+
+/// Collects a training set using the given sampler at the CCD's budget.
+pub fn collect_with_sampler(
+    workloads: &[Workload],
+    sampler: Sampler,
+    scale: Scale,
+    seed: u64,
+) -> TrainingSet {
+    let arch = ArchConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut runs = Vec::new();
+    for &w in workloads {
+        let spec = w.spec();
+        let space = param_space(&spec);
+        let ccd = doe_points(&spec, true);
+        let points = match sampler {
+            Sampler::Ccd => ccd,
+            Sampler::LatinHypercube => latin_hypercube(&space, ccd.len(), &mut rng),
+            Sampler::Random => random_design(&space, ccd.len(), &mut rng),
+            Sampler::DOptimal => d_optimal(&space, ccd.len(), &mut rng),
+        };
+        for p in points {
+            let trace = w.generate(p.coords(), scale);
+            let profile = ApplicationProfile::of(&trace);
+            let report = NmcSystem::new(arch.clone()).run(&trace);
+            runs.push(LabeledRun::from_report(
+                w,
+                p.coords().to_vec(),
+                &profile,
+                &arch,
+                &report,
+            ));
+        }
+    }
+    TrainingSet {
+        feature_names: combined_feature_names(),
+        runs,
+        stats: Default::default(),
+    }
+}
+
+/// Result of the sampler ablation: average (perf, energy) LOAO MRE per
+/// strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerAblation {
+    /// `(sampler, perf MRE, energy MRE)` rows.
+    pub rows: Vec<(Sampler, f64, f64)>,
+}
+
+/// Runs the sampler ablation.
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn sampler_ablation(
+    workloads: &[Workload],
+    scale: Scale,
+    seed: u64,
+) -> Result<SamplerAblation, NapelError> {
+    let est = super::fig5::napel_estimator();
+    let mut rows = Vec::new();
+    for sampler in Sampler::ALL {
+        let set = collect_with_sampler(workloads, sampler, scale, seed);
+        let results = loao_accuracy(&est, &set, seed)?;
+        let (p, e) = average_mre(&results);
+        rows.push((sampler, p, e));
+    }
+    Ok(SamplerAblation { rows })
+}
+
+/// Result of the forest-size sweep: `(num_trees, perf MRE)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestSweep {
+    /// Sweep points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Sweeps the number of trees on an existing training set.
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn forest_size_sweep(
+    set: &TrainingSet,
+    sizes: &[usize],
+    seed: u64,
+) -> Result<ForestSweep, NapelError> {
+    let mut points = Vec::new();
+    for &n in sizes {
+        let est = RandomForestParams {
+            num_trees: n,
+            tree: DecisionTreeParams {
+                feature_subset: FeatureSubset::Third,
+                ..DecisionTreeParams::default()
+            },
+            bootstrap: true,
+        };
+        let results = loao_accuracy(&est, set, seed)?;
+        let (p, _) = average_mre(&results);
+        points.push((n, p));
+    }
+    Ok(ForestSweep { points })
+}
+
+/// One point of the feature-screening ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreeningPoint {
+    /// Number of features kept (`usize::MAX` = all).
+    pub kept: usize,
+    /// Average LOAO performance MRE with that feature subset.
+    pub perf_mre: f64,
+}
+
+/// Feature-screening ablation: rank features by permutation importance of a
+/// forest trained on everything, then retrain on the top-k only.
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn screening_ablation(
+    set: &TrainingSet,
+    keep_counts: &[usize],
+    seed: u64,
+) -> Result<Vec<ScreeningPoint>, NapelError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let full = set.ipc_dataset()?;
+    let est = super::fig5::napel_estimator();
+    let probe = est.fit(&full, &mut rng)?;
+    let importances = probe.permutation_importance(&full, &mut rng);
+    let mut order: Vec<usize> = (0..importances.len()).collect();
+    order.sort_by(|&a, &b| importances[b].total_cmp(&importances[a]));
+
+    let mut out = Vec::new();
+    // Baseline: all features.
+    let all = loao_accuracy(&est, set, seed)?;
+    out.push(ScreeningPoint {
+        kept: usize::MAX,
+        perf_mre: average_mre(&all).0,
+    });
+
+    for &k in keep_counts {
+        let keep: Vec<usize> = order.iter().copied().take(k).collect();
+        // Project the training set onto the kept features.
+        let names: Vec<String> = keep.iter().map(|&i| set.feature_names[i].clone()).collect();
+        let mut projected = set.clone();
+        projected.feature_names = names;
+        for run in &mut projected.runs {
+            run.features = keep.iter().map(|&i| run.features[i]).collect();
+        }
+        let results = loao_accuracy(&est, &projected, seed)?;
+        out.push(ScreeningPoint {
+            kept: k,
+            perf_mre: average_mre(&results).0,
+        });
+    }
+    Ok(out)
+}
+
+/// One point of the cache/scratchpad what-if.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSweepPoint {
+    /// L1 lines per PE.
+    pub cache_lines: usize,
+    /// Simulated EDP (J·s).
+    pub edp: f64,
+    /// Simulated IPC.
+    pub ipc: f64,
+}
+
+/// Sweeps the NMC L1 size for one workload at its test input — the paper's
+/// closing what-if for atax.
+pub fn cache_size_sweep(workload: Workload, lines: &[usize], scale: Scale) -> Vec<CacheSweepPoint> {
+    let trace = workload.generate_test(scale);
+    lines
+        .iter()
+        .map(|&cache_lines| {
+            let arch = ArchConfig {
+                cache_lines,
+                ..ArchConfig::paper_default()
+            };
+            let report = NmcSystem::new(arch).run(&trace);
+            CacheSweepPoint {
+                cache_lines,
+                edp: report.edp(),
+                ipc: report.ipc(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the offload-cost sensitivity study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadRow {
+    /// Application at its test input.
+    pub workload: Workload,
+    /// Simulated NMC EDP assuming memory-resident data (the paper's
+    /// assumption).
+    pub edp_resident: f64,
+    /// NMC EDP when the kernel footprint must first cross the Table 3
+    /// SerDes link from the host (and results return).
+    pub edp_with_offload: f64,
+}
+
+impl OffloadRow {
+    /// EDP inflation factor caused by the transfer.
+    pub fn inflation(&self) -> f64 {
+        self.edp_with_offload / self.edp_resident
+    }
+}
+
+/// Quantifies how much the "data already lives in the stack" assumption is
+/// worth: re-computes each workload's NMC EDP with a one-time transfer of
+/// its read footprint to the memory and its written footprint back over
+/// the Table 3 link.
+pub fn offload_sensitivity(workloads: &[Workload], scale: Scale) -> Vec<OffloadRow> {
+    use nmc_sim::LinkConfig;
+    let link = LinkConfig::hmc_default();
+    workloads
+        .iter()
+        .map(|&w| {
+            let trace = w.generate_test(scale);
+            let profile = ApplicationProfile::of(&trace);
+            let report = NmcSystem::new(ArchConfig::paper_default()).run(&trace);
+
+            let read_bytes = 2f64.powf(profile.value("footprint.log2_read_bytes")) - 1.0;
+            let written_bytes = 2f64.powf(profile.value("footprint.log2_written_bytes")) - 1.0;
+            let cost = link.transfer(read_bytes as u64, written_bytes as u64);
+
+            let t = report.exec_time_seconds();
+            let e = report.energy_joules();
+            OffloadRow {
+                workload: w,
+                edp_resident: t * e,
+                edp_with_offload: (t + cost.seconds) * (e + cost.joules),
+            }
+        })
+        .collect()
+}
+
+/// Closed- vs open-row EDP per workload (central configurations).
+pub fn row_policy_study(workloads: &[Workload], scale: Scale) -> Vec<(Workload, f64, f64)> {
+    workloads
+        .iter()
+        .map(|&w| {
+            let trace = w.generate(&w.spec().central_values(), scale);
+            let closed = NmcSystem::new(ArchConfig::paper_default()).run(&trace);
+            let open = NmcSystem::new(ArchConfig {
+                row_policy: nmc_sim::RowPolicy::Open,
+                ..ArchConfig::paper_default()
+            })
+            .run(&trace);
+            (w, closed.edp(), open.edp())
+        })
+        .collect()
+}
+
+/// Renders both core ablations.
+pub fn render(samplers: &SamplerAblation, sweep: &ForestSweep) -> String {
+    let body: Vec<Vec<String>> = samplers
+        .rows
+        .iter()
+        .map(|(s, p, e)| {
+            vec![
+                s.name().to_string(),
+                format!("{:.1}%", p * 100.0),
+                format!("{:.1}%", e * 100.0),
+            ]
+        })
+        .collect();
+    let mut out = super::render_table(&["Sampler", "perf MRE", "energy MRE"], &body);
+    out.push('\n');
+    let body: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|(n, p)| vec![n.to_string(), format!("{:.1}%", p * 100.0)])
+        .collect();
+    out.push_str(&super::render_table(&["#Trees", "perf MRE"], &body));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_ablation_covers_all_strategies() {
+        let apps = [Workload::Atax, Workload::Gemv];
+        let result = sampler_ablation(&apps, Scale::tiny(), 5).unwrap();
+        assert_eq!(result.rows.len(), 4);
+        for (_, p, e) in &result.rows {
+            assert!(p.is_finite() && e.is_finite());
+        }
+    }
+
+    #[test]
+    fn forest_sweep_produces_points() {
+        let set = collect_with_sampler(
+            &[Workload::Atax, Workload::Gemv],
+            Sampler::Ccd,
+            Scale::tiny(),
+            5,
+        );
+        let sweep = forest_size_sweep(&set, &[5, 20], 5).unwrap();
+        assert_eq!(sweep.points.len(), 2);
+        let s = render(
+            &sampler_ablation(&[Workload::Atax, Workload::Gemv], Scale::tiny(), 5).unwrap(),
+            &sweep,
+        );
+        assert!(s.contains("Sampler") && s.contains("#Trees"));
+    }
+
+    #[test]
+    fn screening_keeps_requested_feature_counts() {
+        let set = collect_with_sampler(
+            &[Workload::Atax, Workload::Gemv],
+            Sampler::Ccd,
+            Scale::tiny(),
+            7,
+        );
+        let points = screening_ablation(&set, &[10, 50], 7).unwrap();
+        assert_eq!(points.len(), 3); // all + two subsets
+        assert_eq!(points[0].kept, usize::MAX);
+        assert_eq!(points[1].kept, 10);
+        assert!(points.iter().all(|p| p.perf_mre.is_finite()));
+    }
+
+    #[test]
+    fn bigger_nmc_cache_helps_atax() {
+        // The paper's closing observation: atax's vector-multiply phase has
+        // locality a larger-than-128B L1 could exploit.
+        let points = cache_size_sweep(Workload::Atax, &[2, 64], Scale::tiny());
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].ipc > points[0].ipc,
+            "64-line L1 should beat 2-line on atax: {} vs {}",
+            points[1].ipc,
+            points[0].ipc
+        );
+        assert!(points[1].edp < points[0].edp);
+    }
+
+    #[test]
+    fn row_policy_study_covers_workloads() {
+        let rows = row_policy_study(&[Workload::Gemv, Workload::Bfs], Scale::tiny());
+        assert_eq!(rows.len(), 2);
+        for (_, closed, open) in rows {
+            assert!(closed > 0.0 && open > 0.0);
+        }
+    }
+
+    #[test]
+    fn offload_transfer_always_inflates_edp() {
+        let rows = offload_sensitivity(&[Workload::Atax, Workload::Kme], Scale::tiny());
+        assert_eq!(rows.len(), 2);
+        for r in rows {
+            assert!(
+                r.inflation() > 1.0,
+                "{}: transfer cannot make EDP better ({})",
+                r.workload,
+                r.inflation()
+            );
+            assert!(
+                r.inflation() < 100.0,
+                "{}: inflation implausible",
+                r.workload
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 6 — execution time and energy on the host (POWER9 model).
+
+use napel_hostmodel::{HostModel, HostReport};
+use napel_pisa::ApplicationProfile;
+use napel_workloads::{Scale, Workload};
+
+/// One bar pair of Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Application at its Table 2 test input.
+    pub workload: Workload,
+    /// Host evaluation.
+    pub host: HostReport,
+}
+
+/// Evaluates every workload's test input on the host model.
+pub fn run(workloads: &[Workload], scale: Scale) -> Vec<Fig6Row> {
+    let host = HostModel::power9(scale);
+    workloads
+        .iter()
+        .map(|&w| {
+            let trace = w.generate_test(scale);
+            let profile = ApplicationProfile::of(&trace);
+            Fig6Row {
+                workload: w,
+                host: host.evaluate(&profile),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as a table.
+pub fn render(rows: &[Fig6Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.name().to_string(),
+                format!("{:.3e}", r.host.exec_time_seconds),
+                format!("{:.3e}", r.host.energy_joules),
+                format!("{:.2}", r.host.cpi),
+                format!("{:.0}%", r.host.dram_fraction * 100.0),
+            ]
+        })
+        .collect();
+    super::render_table(
+        &[
+            "Name",
+            "Host time (s)",
+            "Host energy (J)",
+            "CPI",
+            "DRAM traffic",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_requested_workloads() {
+        let rows = run(&[Workload::Atax, Workload::Bfs], Scale::tiny());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.host.exec_time_seconds > 0.0);
+            assert!(r.host.energy_joules > 0.0);
+        }
+        let s = render(&rows);
+        assert!(s.contains("atax") && s.contains("bfs"));
+    }
+
+    #[test]
+    fn irregular_kernels_hit_dram_harder() {
+        let rows = run(&[Workload::Bfs, Workload::Syrk], Scale::tiny());
+        let bfs = &rows[0].host;
+        let syrk = &rows[1].host;
+        assert!(
+            bfs.dram_fraction > syrk.dram_fraction,
+            "bfs {} vs syrk {}",
+            bfs.dram_fraction,
+            syrk.dram_fraction
+        );
+    }
+}

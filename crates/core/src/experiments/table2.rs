@@ -1,0 +1,77 @@
+//! Table 2 — evaluated applications and their DoE parameters.
+
+use napel_workloads::Workload;
+
+/// Renders Table 2: every application, its parameters, the five levels and
+/// the test input.
+pub fn render() -> String {
+    let mut rows = Vec::new();
+    for w in Workload::ALL {
+        let spec = w.spec();
+        for (i, p) in spec.params.iter().enumerate() {
+            let name = if i == 0 {
+                w.name().to_string()
+            } else {
+                String::new()
+            };
+            let desc = if i == 0 {
+                spec.description.to_string()
+            } else {
+                String::new()
+            };
+            let mut row = vec![name, desc, p.name.to_string()];
+            row.extend(p.levels.iter().map(|v| fmt_level(*v)));
+            row.push(fmt_level(p.test));
+            rows.push(row);
+        }
+    }
+    super::render_table(
+        &[
+            "Name",
+            "Description",
+            "DoE Param.",
+            "Min",
+            "Low",
+            "Central",
+            "High",
+            "Max",
+            "Test",
+        ],
+        &rows,
+    )
+}
+
+fn fmt_level(v: f64) -> String {
+    if v >= 1e6 && (v / 1e5).fract() == 0.0 {
+        format!("{}m", v / 1e6)
+    } else if v >= 1e3 && (v / 1e3).fract() == 0.0 {
+        format!("{}k", v / 1e3)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_parameters() {
+        let s = render();
+        // 12 apps with 2/4/4/3/3/3/3/4/3/3/3/3 params = 38 parameter rows.
+        let data_lines = s.lines().count() - 2; // header + rule
+        assert_eq!(data_lines, 38);
+        assert!(s.contains("atax"));
+        assert!(s.contains("1.4m"));
+        assert!(s.contains("819k"));
+        assert!(s.contains("Gram-Schmidt"));
+    }
+
+    #[test]
+    fn level_formatting() {
+        assert_eq!(fmt_level(400e3), "400k");
+        assert_eq!(fmt_level(1.2e6), "1.2m");
+        assert_eq!(fmt_level(64.0), "64");
+        assert_eq!(fmt_level(2300.0), "2300");
+    }
+}

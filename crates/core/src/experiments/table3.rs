@@ -1,0 +1,94 @@
+//! Table 3 — system parameters and configuration.
+
+use napel_hostmodel::HostConfig;
+use napel_workloads::Scale;
+use nmc_sim::ArchConfig;
+
+/// Renders Table 3: the host system and the NMC system, as configured in
+/// this reproduction (capacity scaling noted when active).
+pub fn render(scale: Scale) -> String {
+    let nmc = ArchConfig::paper_default();
+    let host = HostConfig::power9_scaled(scale);
+    let mut s = String::new();
+    s.push_str("Host CPU System\n");
+    s.push_str(&format!(
+        "  Configuration   POWER9-class model @{} GHz, {} cores ({}-way SMT),\n",
+        host.freq_ghz, host.cores, host.smt
+    ));
+    s.push_str(&format!(
+        "                  {} L1, {} L2, {} L3 per core, {:.0} GB/s DRAM\n",
+        fmt_bytes(host.l1_bytes),
+        fmt_bytes(host.l2_bytes),
+        fmt_bytes(host.l3_bytes),
+        host.mem_bandwidth / 1e9
+    ));
+    if scale.data_div > 1 {
+        s.push_str(&format!(
+            "                  (capacities scaled 1/{} to match workload scale)\n",
+            scale.data_div
+        ));
+    }
+    s.push_str("NMC System\n");
+    s.push_str(&format!(
+        "  Cores           {}x single issue, in-order execution @ {} GHz\n",
+        nmc.num_pes, nmc.freq_ghz
+    ));
+    s.push_str(&format!(
+        "  L1-I/D          {}-way, cache size = {} cache lines, {}B per cache line\n",
+        nmc.cache_assoc, nmc.cache_lines, nmc.cache_line_bytes
+    ));
+    s.push_str(&format!(
+        "  DRAM Module     {} vaults, {} stacked-layers, {}B row buffer; {} total size; {}-row policy\n",
+        nmc.vaults,
+        nmc.dram_layers,
+        nmc.row_buffer_bytes,
+        fmt_bytes(nmc.dram_size_bytes),
+        match nmc.row_policy {
+            nmc_sim::RowPolicy::Closed => "closed",
+            nmc_sim::RowPolicy::Open => "open",
+        }
+    ));
+    s
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{}GiB", b >> 30)
+    } else if b >= 1 << 20 {
+        format!("{}MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KiB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scale_matches_paper_numbers() {
+        let s = render(Scale::unit());
+        assert!(s.contains("32x single issue, in-order execution @ 1.25 GHz"));
+        assert!(s.contains("32 vaults, 8 stacked-layers, 256B row buffer; 4GiB"));
+        assert!(s.contains("closed-row policy"));
+        assert!(s.contains("16 cores (4-way SMT)"));
+        assert!(s.contains("32KiB L1"));
+        assert!(!s.contains("capacities scaled"));
+    }
+
+    #[test]
+    fn scaled_render_notes_the_scaling() {
+        let s = render(Scale::laptop());
+        assert!(s.contains("capacities scaled 1/256"));
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(4 << 30), "4GiB");
+        assert_eq!(fmt_bytes(10 << 20), "10MiB");
+        assert_eq!(fmt_bytes(32 << 10), "32KiB");
+        assert_eq!(fmt_bytes(128), "128B");
+    }
+}

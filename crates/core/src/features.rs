@@ -1,0 +1,222 @@
+//! Training-row assembly: profile features ⊕ architecture features.
+//!
+//! The RF input of Section 2.5 has three parts: the hardware-independent
+//! application profile `p(k, d)`, the architectural configuration `a`, and
+//! the simulator response used as the label. This module concatenates the
+//! first two into one named feature vector and holds the labeled rows.
+
+use napel_ml::dataset::Dataset;
+use napel_pisa::ApplicationProfile;
+use napel_workloads::Workload;
+use nmc_sim::{ArchConfig, SimReport};
+
+use crate::NapelError;
+
+/// Names of the combined feature vector: every PISA profile feature
+/// followed by every architectural feature.
+pub fn combined_feature_names() -> Vec<String> {
+    let mut names: Vec<String> = napel_pisa::feature_names().to_vec();
+    names.extend(ArchConfig::feature_names());
+    names
+}
+
+/// Builds the combined feature vector for one (profile, architecture) pair.
+pub fn combined_features(profile: &ApplicationProfile, arch: &ArchConfig) -> Vec<f64> {
+    let mut v = profile.values().to_vec();
+    v.extend(arch.to_features());
+    v
+}
+
+/// One simulated, labeled run: the `(p, a) → response` triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledRun {
+    /// Which application produced the row.
+    pub workload: Workload,
+    /// The application-input configuration (spec order).
+    pub params: Vec<f64>,
+    /// Combined profile ⊕ architecture features.
+    pub features: Vec<f64>,
+    /// Offloaded dynamic instructions (`I_offload`).
+    pub instructions: u64,
+    /// Simulator IPC label.
+    pub ipc: f64,
+    /// Simulator energy label, picojoules per instruction (intensive, so
+    /// the model generalizes across input sizes; total energy is recovered
+    /// as `epi · I_offload`).
+    pub energy_per_inst_pj: f64,
+}
+
+impl LabeledRun {
+    /// Builds a labeled run from a simulation report.
+    pub fn from_report(
+        workload: Workload,
+        params: Vec<f64>,
+        profile: &ApplicationProfile,
+        arch: &ArchConfig,
+        report: &SimReport,
+    ) -> Self {
+        let epi = if report.instructions == 0 {
+            0.0
+        } else {
+            report.energy.total_pj() / report.instructions as f64
+        };
+        LabeledRun {
+            workload,
+            params,
+            features: combined_features(profile, arch),
+            instructions: report.instructions,
+            ipc: report.ipc(),
+            energy_per_inst_pj: epi,
+        }
+    }
+}
+
+/// Wall-clock accounting of a collection campaign (feeds Table 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CollectStats {
+    /// Seconds spent generating kernel traces.
+    pub generate_seconds: f64,
+    /// Seconds spent in profile extraction (the "kernel analysis" phase).
+    pub profile_seconds: f64,
+    /// Seconds spent simulating (the "DoE run" column of Table 4).
+    pub simulate_seconds: f64,
+}
+
+/// A labeled training set plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSet {
+    /// Combined feature names.
+    pub feature_names: Vec<String>,
+    /// The labeled rows.
+    pub runs: Vec<LabeledRun>,
+    /// Campaign timing.
+    pub stats: CollectStats,
+}
+
+impl TrainingSet {
+    /// The distinct workloads present, in [`Workload::ALL`] order.
+    pub fn workloads(&self) -> Vec<Workload> {
+        Workload::ALL
+            .into_iter()
+            .filter(|w| self.runs.iter().any(|r| r.workload == *w))
+            .collect()
+    }
+
+    /// Group label (index into [`Workload::ALL`]) per row, for
+    /// leave-one-application-out folds.
+    pub fn groups(&self) -> Vec<usize> {
+        self.runs
+            .iter()
+            .map(|r| {
+                Workload::ALL
+                    .iter()
+                    .position(|w| *w == r.workload)
+                    .expect("known")
+            })
+            .collect()
+    }
+
+    /// Rows restricted to the given workloads.
+    pub fn filtered(&self, keep: impl Fn(Workload) -> bool) -> TrainingSet {
+        TrainingSet {
+            feature_names: self.feature_names.clone(),
+            runs: self
+                .runs
+                .iter()
+                .filter(|r| keep(r.workload))
+                .cloned()
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// The IPC-labeled ML dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NapelError`] if the set is empty or contains non-finite
+    /// values.
+    pub fn ipc_dataset(&self) -> Result<Dataset, NapelError> {
+        self.dataset_with(|r| r.ipc)
+    }
+
+    /// The energy-per-instruction-labeled ML dataset.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrainingSet::ipc_dataset`].
+    pub fn energy_dataset(&self) -> Result<Dataset, NapelError> {
+        self.dataset_with(|r| r.energy_per_inst_pj)
+    }
+
+    fn dataset_with(&self, label: impl Fn(&LabeledRun) -> f64) -> Result<Dataset, NapelError> {
+        let mut b = Dataset::builder(self.feature_names.clone());
+        for r in &self.runs {
+            b.push_row(r.features.clone(), label(r))?;
+        }
+        Ok(b.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_ir::{Emitter, MultiTrace};
+    use nmc_sim::NmcSystem;
+
+    fn tiny_run(w: Workload) -> LabeledRun {
+        let mut t = MultiTrace::new(1);
+        let mut e = Emitter::new(t.thread_sink(0));
+        for i in 0..50u64 {
+            let x = e.load(0, 8 * i, 8);
+            e.store(1, 0x1000 + 8 * i, 8, x);
+        }
+        drop(e);
+        let profile = ApplicationProfile::of(&t);
+        let arch = ArchConfig::paper_default();
+        let report = NmcSystem::new(arch.clone()).run(&t);
+        LabeledRun::from_report(w, vec![1.0], &profile, &arch, &report)
+    }
+
+    #[test]
+    fn combined_names_align_with_values() {
+        let r = tiny_run(Workload::Atax);
+        assert_eq!(r.features.len(), combined_feature_names().len());
+    }
+
+    #[test]
+    fn labels_are_sane() {
+        let r = tiny_run(Workload::Atax);
+        assert!(r.ipc > 0.0 && r.ipc <= 1.0);
+        assert!(r.energy_per_inst_pj > 0.0);
+        assert_eq!(r.instructions, 100);
+    }
+
+    #[test]
+    fn datasets_carry_labels() {
+        let set = TrainingSet {
+            feature_names: combined_feature_names(),
+            runs: vec![tiny_run(Workload::Atax), tiny_run(Workload::Bfs)],
+            stats: CollectStats::default(),
+        };
+        let d = set.ipc_dataset().unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.target(0), set.runs[0].ipc);
+        let e = set.energy_dataset().unwrap();
+        assert_eq!(e.target(1), set.runs[1].energy_per_inst_pj);
+        assert_eq!(set.groups(), vec![0, 1]);
+        assert_eq!(set.workloads(), vec![Workload::Atax, Workload::Bfs]);
+    }
+
+    #[test]
+    fn filtering_by_workload() {
+        let set = TrainingSet {
+            feature_names: combined_feature_names(),
+            runs: vec![tiny_run(Workload::Atax), tiny_run(Workload::Bfs)],
+            stats: CollectStats::default(),
+        };
+        let only_bfs = set.filtered(|w| w == Workload::Bfs);
+        assert_eq!(only_bfs.runs.len(), 1);
+        assert_eq!(only_bfs.runs[0].workload, Workload::Bfs);
+    }
+}

@@ -1,0 +1,56 @@
+//! NAPEL — the DAC 2019 framework, end to end.
+//!
+//! This crate wires the substrates together into the paper's pipeline
+//! (Figure 1):
+//!
+//! 1. **Kernel analysis** (①/④): run the instrumented kernel
+//!    ([`napel_workloads`]) and extract the hardware-independent profile
+//!    ([`napel_pisa`]).
+//! 2. **Microarchitectural simulation** (②): execute the CCD-selected
+//!    input configurations ([`napel_doe`]) on the NMC simulator
+//!    ([`nmc_sim`]) to label the training set — [`collect`].
+//! 3. **Ensemble-model training** (③): random-forest models for IPC and
+//!    energy-per-instruction with cross-validated hyper-parameter tuning —
+//!    [`model::Napel`].
+//! 4. **Prediction** (⑤): estimate IPC/energy of *previously-unseen*
+//!    applications on an architecture configuration —
+//!    [`model::TrainedNapel::predict`].
+//!
+//! On top of the pipeline, [`analysis`] implements the paper's
+//! leave-one-application-out accuracy protocol (Figure 5) and the EDP-based
+//! NMC-suitability use case (Figures 6–7), and [`experiments`] packages
+//! every table and figure of the evaluation as a reproducible driver.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use napel_core::collect::{collect, CollectionPlan};
+//! use napel_core::model::{Napel, NapelConfig};
+//! use napel_pisa::ApplicationProfile;
+//! use napel_workloads::{Scale, Workload};
+//! use nmc_sim::ArchConfig;
+//!
+//! // Train on eleven applications...
+//! let plan = CollectionPlan {
+//!     workloads: Workload::ALL.iter().copied().filter(|w| *w != Workload::Atax).collect(),
+//!     ..CollectionPlan::default()
+//! };
+//! let set = collect(&plan);
+//! let trained = Napel::new(NapelConfig::default()).train(&set)?;
+//!
+//! // ...and predict the twelfth, never seen during training.
+//! let trace = Workload::Atax.generate_test(plan.scale);
+//! let profile = ApplicationProfile::of(&trace);
+//! let pred = trained.predict(&profile, &ArchConfig::paper_default());
+//! println!("predicted IPC = {:.3}", pred.ipc);
+//! # Ok::<(), napel_core::NapelError>(())
+//! ```
+
+pub mod analysis;
+pub mod collect;
+mod error;
+pub mod experiments;
+pub mod features;
+pub mod model;
+
+pub use error::NapelError;

@@ -1,0 +1,356 @@
+//! Phase ③/⑤ — model training, tuning, and prediction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use napel_ml::cv::{k_fold, GridSearch};
+use napel_ml::forest::{RandomForest, RandomForestParams};
+use napel_ml::log_space::{LogModel, LogOf};
+use napel_ml::tree::{DecisionTreeParams, FeatureSubset};
+use napel_ml::{Estimator, Regressor};
+use napel_pisa::ApplicationProfile;
+use nmc_sim::ArchConfig;
+
+use crate::features::{combined_features, TrainingSet};
+use crate::NapelError;
+
+/// Training configuration: the hyper-parameter grid and CV policy of the
+/// paper's "Train + Tune" phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NapelConfig {
+    /// Candidate forests for grid search.
+    pub grid: Vec<RandomForestParams>,
+    /// Cross-validation folds used for tuning (clamped to the sample
+    /// count).
+    pub cv_folds: usize,
+    /// RNG seed (training is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl NapelConfig {
+    /// The default tuning grid: forest size × tree depth × feature-subset
+    /// rule (12 candidates, mirroring the paper's "as many iterations of
+    /// cross-validation as hyper-parameter combinations").
+    pub fn default_grid() -> Vec<RandomForestParams> {
+        let mut grid = Vec::new();
+        for &num_trees in &[60, 120] {
+            for &max_depth in &[8, 16] {
+                for &subset in &[
+                    FeatureSubset::Sqrt,
+                    FeatureSubset::Third,
+                    FeatureSubset::All,
+                ] {
+                    grid.push(RandomForestParams {
+                        num_trees,
+                        tree: DecisionTreeParams {
+                            max_depth,
+                            min_samples_leaf: 1,
+                            min_samples_split: 2,
+                            feature_subset: subset,
+                        },
+                        bootstrap: true,
+                    });
+                }
+            }
+        }
+        grid
+    }
+
+    /// A single mid-sized forest, skipping the tuning loop (for tests and
+    /// the cheap path of the ablation bench).
+    pub fn untuned() -> Self {
+        NapelConfig {
+            grid: vec![RandomForestParams {
+                num_trees: 80,
+                tree: DecisionTreeParams {
+                    max_depth: 14,
+                    feature_subset: FeatureSubset::Third,
+                    ..DecisionTreeParams::default()
+                },
+                bootstrap: true,
+            }],
+            cv_folds: 4,
+            seed: 0xDAC19,
+        }
+    }
+}
+
+impl Default for NapelConfig {
+    fn default() -> Self {
+        NapelConfig {
+            grid: Self::default_grid(),
+            cv_folds: 4,
+            seed: 0xDAC19,
+        }
+    }
+}
+
+/// The trainer.
+#[derive(Debug, Clone, Default)]
+pub struct Napel {
+    config: NapelConfig,
+}
+
+impl Napel {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: NapelConfig) -> Self {
+        Napel { config }
+    }
+
+    /// Trains the IPC and energy models on a labeled set, tuning
+    /// hyper-parameters by cross-validated MRE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NapelError`] if the set is empty, degenerate, or too small
+    /// to cross-validate.
+    pub fn train(&self, set: &TrainingSet) -> Result<TrainedNapel, NapelError> {
+        if set.runs.len() < 4 {
+            return Err(NapelError::BadTrainingSet {
+                what: format!("{} rows is too few to train and validate", set.runs.len()),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let ipc_data = set.ipc_dataset()?;
+        let energy_data = set.energy_dataset()?;
+        let folds = k_fold(
+            ipc_data.len(),
+            self.config.cv_folds.clamp(2, ipc_data.len()),
+            &mut rng,
+        )?;
+
+        // IPC and energy-per-instruction are positive and span orders of
+        // magnitude across applications: fit in log-space so squared-error
+        // splits align with the relative-error metric (see
+        // `napel_ml::log_space`).
+        let log_grid: Vec<LogOf<RandomForestParams>> =
+            self.config.grid.iter().cloned().map(LogOf).collect();
+        let search = GridSearch::new(log_grid.clone());
+        let (perf, perf_tune) = if log_grid.len() == 1 {
+            (log_grid[0].fit(&ipc_data, &mut rng)?, None)
+        } else {
+            let outcome = search.run(&ipc_data, &folds, &mut rng)?;
+            let model = outcome.best.fit(&ipc_data, &mut rng)?;
+            (model, Some((outcome.best.describe(), outcome.best_score)))
+        };
+        let (energy, energy_tune) = if log_grid.len() == 1 {
+            (log_grid[0].fit(&energy_data, &mut rng)?, None)
+        } else {
+            let outcome = search.run(&energy_data, &folds, &mut rng)?;
+            let model = outcome.best.fit(&energy_data, &mut rng)?;
+            (model, Some((outcome.best.describe(), outcome.best_score)))
+        };
+
+        Ok(TrainedNapel {
+            perf,
+            energy,
+            feature_names: set.feature_names.clone(),
+            perf_tune,
+            energy_tune,
+        })
+    }
+}
+
+/// A trained NAPEL instance: one (log-space) forest for IPC, one for
+/// energy.
+#[derive(Debug, Clone)]
+pub struct TrainedNapel {
+    perf: LogModel<RandomForest>,
+    energy: LogModel<RandomForest>,
+    feature_names: Vec<String>,
+    perf_tune: Option<(String, f64)>,
+    energy_tune: Option<(String, f64)>,
+}
+
+impl TrainedNapel {
+    /// Predicts IPC and energy-per-instruction for an application profile
+    /// on an architecture configuration.
+    pub fn predict(&self, profile: &ApplicationProfile, arch: &ArchConfig) -> Prediction {
+        let x = combined_features(profile, arch);
+        self.predict_features(&x, arch)
+    }
+
+    /// Predicts from a pre-assembled combined feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    pub fn predict_features(&self, x: &[f64], arch: &ArchConfig) -> Prediction {
+        assert_eq!(x.len(), self.feature_names.len(), "feature vector mismatch");
+        Prediction {
+            ipc: self.perf.predict_one(x),
+            energy_per_inst_pj: self.energy.predict_one(x),
+            freq_ghz: arch.freq_ghz,
+        }
+    }
+
+    /// Like [`TrainedNapel::predict`], but also reports a multiplicative
+    /// uncertainty band derived from the spread of per-tree predictions
+    /// (one geometric standard deviation; the forest is fitted in
+    /// log-space, so the band is `[ipc / factor, ipc * factor]`).
+    pub fn predict_with_uncertainty(
+        &self,
+        profile: &ApplicationProfile,
+        arch: &ArchConfig,
+    ) -> (Prediction, f64) {
+        let x = combined_features(profile, arch);
+        let pred = self.predict_features(&x, arch);
+        let spread = self.perf.inner().prediction_std(&x).exp();
+        (pred, spread)
+    }
+
+    /// The combined feature names the models expect.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Winning hyper-parameters and CV score for the performance model, if
+    /// tuning ran.
+    pub fn perf_tuning(&self) -> Option<&(String, f64)> {
+        self.perf_tune.as_ref()
+    }
+
+    /// Winning hyper-parameters and CV score for the energy model, if
+    /// tuning ran.
+    pub fn energy_tuning(&self) -> Option<&(String, f64)> {
+        self.energy_tune.as_ref()
+    }
+
+    /// The underlying IPC forest (exposed for importance analyses; note it
+    /// is fitted on log-IPC).
+    pub fn perf_forest(&self) -> &RandomForest {
+        self.perf.inner()
+    }
+}
+
+/// A NAPEL prediction for one (application, architecture) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted instructions per cycle.
+    pub ipc: f64,
+    /// Predicted energy per instruction, picojoules.
+    pub energy_per_inst_pj: f64,
+    /// Core frequency of the target architecture (for the time formula).
+    pub freq_ghz: f64,
+}
+
+impl Prediction {
+    /// Execution time via the paper's formula
+    /// `Π_NMC = I_offload / (IPC · f_core)`.
+    pub fn exec_time_seconds(&self, instructions: u64) -> f64 {
+        instructions as f64 / (self.ipc.max(1e-6) * self.freq_ghz * 1e9)
+    }
+
+    /// Total energy in joules for `instructions` offloaded instructions.
+    pub fn energy_joules(&self, instructions: u64) -> f64 {
+        self.energy_per_inst_pj * instructions as f64 * 1e-12
+    }
+
+    /// Energy-delay product for `instructions` offloaded instructions.
+    pub fn edp(&self, instructions: u64) -> f64 {
+        self.exec_time_seconds(instructions) * self.energy_joules(instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect, CollectionPlan};
+    use napel_workloads::{Scale, Workload};
+
+    fn tiny_set() -> TrainingSet {
+        collect(&CollectionPlan {
+            workloads: vec![Workload::Atax, Workload::Gemv],
+            scale: Scale::tiny(),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn untuned_training_and_prediction() {
+        let set = tiny_set();
+        let trained = Napel::new(NapelConfig::untuned()).train(&set).unwrap();
+        assert!(trained.perf_tuning().is_none());
+        // Predict one of the training configurations; should be in a sane
+        // band around the label.
+        let r = &set.runs[0];
+        let pred = trained.predict_features(&r.features, &ArchConfig::paper_default());
+        assert!(pred.ipc > 0.0);
+        assert!(
+            (pred.ipc - r.ipc).abs() / r.ipc < 0.6,
+            "{} vs {}",
+            pred.ipc,
+            r.ipc
+        );
+        assert!(pred.energy_per_inst_pj > 0.0);
+    }
+
+    #[test]
+    fn prediction_formulas() {
+        let p = Prediction {
+            ipc: 0.5,
+            energy_per_inst_pj: 100.0,
+            freq_ghz: 1.25,
+        };
+        let t = p.exec_time_seconds(1_000_000);
+        assert!((t - 1.6e-3).abs() < 1e-9);
+        let e = p.energy_joules(1_000_000);
+        assert!((e - 1e-4).abs() < 1e-12);
+        assert!((p.edp(1_000_000) - t * e).abs() < 1e-18);
+    }
+
+    #[test]
+    fn too_small_set_rejected() {
+        let set = tiny_set();
+        let tiny = TrainingSet {
+            feature_names: set.feature_names.clone(),
+            runs: set.runs[..2].to_vec(),
+            stats: set.stats,
+        };
+        let err = Napel::new(NapelConfig::untuned()).train(&tiny).unwrap_err();
+        assert!(matches!(err, NapelError::BadTrainingSet { .. }));
+    }
+
+    #[test]
+    fn uncertainty_band_is_sane() {
+        let set = tiny_set();
+        let trained = Napel::new(NapelConfig::untuned()).train(&set).unwrap();
+        let trace = Workload::Atax.generate(&Workload::Atax.spec().central_values(), Scale::tiny());
+        let profile = napel_pisa::ApplicationProfile::of(&trace);
+        let (pred, spread) =
+            trained.predict_with_uncertainty(&profile, &ArchConfig::paper_default());
+        assert!(pred.ipc > 0.0);
+        assert!(
+            spread >= 1.0,
+            "geometric std factor is at least 1, got {spread}"
+        );
+        assert!(spread < 50.0, "implausible uncertainty {spread}");
+    }
+
+    #[test]
+    fn default_grid_has_multiple_candidates() {
+        let g = NapelConfig::default_grid();
+        assert_eq!(g.len(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for c in &g {
+            assert!(
+                seen.insert(c.describe()),
+                "duplicate candidate {}",
+                c.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let set = tiny_set();
+        let a = Napel::new(NapelConfig::untuned()).train(&set).unwrap();
+        let b = Napel::new(NapelConfig::untuned()).train(&set).unwrap();
+        let r = &set.runs[3];
+        let arch = ArchConfig::paper_default();
+        assert_eq!(
+            a.predict_features(&r.features, &arch).ipc,
+            b.predict_features(&r.features, &arch).ipc
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Box–Wilson central composite design (CCD), as used by NAPEL.
+//!
+//! The construction follows Section 2.4 / Figure 3 of the paper:
+//!
+//! 1. place a factorial corner point at every combination of the *low* and
+//!    *high* levels (`2^k` points — the square in Figure 3),
+//! 2. add axial ("star") points that combine the *central* level of all
+//!    parameters but one with that parameter's *minimum* or *maximum* level
+//!    (`2k` points — on the circumscribing sphere),
+//! 3. add the *central* configuration, replicated `n_c` times.
+//!
+//! With the paper's replication rule `n_c = 2k − 1`
+//! ([`CcdOptions::paper_defaults`]) the design sizes reproduce Table 4
+//! exactly: 11 configurations for 2-parameter applications (atax), 19 for
+//! 3 parameters (chol, gemv, …), 31 for 4 parameters (bfs, bp, kme).
+//!
+//! In a simulation campaign, center replicates are re-runs of the same
+//! configuration (the classical CCD uses them to estimate pure error; NAPEL
+//! inherits the counts). [`CentralComposite::unique_points`] yields the
+//! deduplicated set when re-running a deterministic simulator would add no
+//! information.
+
+use crate::space::{DesignPoint, Level, ParamSpace};
+
+/// Options controlling CCD construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcdOptions {
+    /// Number of center-point replicates (`n_c`).
+    pub center_replicates: usize,
+}
+
+impl CcdOptions {
+    /// The replication rule that reproduces the paper's design sizes
+    /// (`n_c = 2k − 1`, giving 11/19/31 points for k = 2/3/4).
+    pub fn paper_defaults(space: &ParamSpace) -> Self {
+        CcdOptions {
+            center_replicates: 2 * space.dims() - 1,
+        }
+    }
+
+    /// A single center point (classical minimal CCD, `2^k + 2k + 1` points).
+    pub fn single_center() -> Self {
+        CcdOptions {
+            center_replicates: 1,
+        }
+    }
+}
+
+/// The role a design point plays within the CCD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PointKind {
+    /// Factorial corner (low/high combination).
+    Corner,
+    /// Axial/star point (one parameter at minimum or maximum).
+    Axial,
+    /// Center configuration.
+    Center,
+}
+
+/// A central composite design over a [`ParamSpace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralComposite {
+    points: Vec<(DesignPoint, PointKind)>,
+}
+
+impl CentralComposite {
+    /// All design points (with replicated centers), in construction order:
+    /// corners, then axial points, then centers.
+    pub fn points(&self) -> impl Iterator<Item = &DesignPoint> {
+        self.points.iter().map(|(p, _)| p)
+    }
+
+    /// Design points annotated with their role.
+    pub fn annotated(&self) -> &[(DesignPoint, PointKind)] {
+        &self.points
+    }
+
+    /// Number of points including center replicates (the paper's
+    /// "#DoE conf." column).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the design is empty (never true for a valid space).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The deduplicated point set (center kept once, coincident points
+    /// merged).
+    pub fn unique_points(&self) -> Vec<DesignPoint> {
+        let mut unique: Vec<DesignPoint> = Vec::with_capacity(self.points.len());
+        for (p, _) in &self.points {
+            if !unique.iter().any(|q| q.approx_eq(p)) {
+                unique.push(p.clone());
+            }
+        }
+        unique
+    }
+}
+
+impl<'a> IntoIterator for &'a CentralComposite {
+    type Item = &'a (DesignPoint, PointKind);
+    type IntoIter = std::slice::Iter<'a, (DesignPoint, PointKind)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+/// Builds the central composite design for `space`.
+///
+/// # Example
+///
+/// ```
+/// use napel_doe::{ccd, ParamDef, ParamSpace};
+///
+/// let space = ParamSpace::new(vec![
+///     ParamDef::integer("dimension", [500.0, 1250.0, 1500.0, 2000.0, 2300.0])?,
+///     ParamDef::integer("threads", [4.0, 8.0, 16.0, 32.0, 64.0])?,
+/// ])?;
+/// let d = ccd::central_composite(&space, &ccd::CcdOptions::paper_defaults(&space));
+/// // The four corners from the paper: (1250,8) (1250,32) (2000,8) (2000,32)
+/// assert!(d.points().any(|p| p.coords() == [1250.0, 8.0]));
+/// assert!(d.points().any(|p| p.coords() == [2000.0, 32.0]));
+/// // The axial points: (500,16) (2300,16) (1500,4) (1500,64)
+/// assert!(d.points().any(|p| p.coords() == [500.0, 16.0]));
+/// assert!(d.points().any(|p| p.coords() == [1500.0, 64.0]));
+/// # Ok::<(), napel_doe::DesignError>(())
+/// ```
+pub fn central_composite(space: &ParamSpace, options: &CcdOptions) -> CentralComposite {
+    let k = space.dims();
+    let mut points = Vec::with_capacity((1usize << k.min(20)) + 2 * k + options.center_replicates);
+
+    // 1. Factorial corners: every low/high combination.
+    for mask in 0..(1u64 << k) {
+        let coords = (0..k)
+            .map(|i| {
+                let level = if mask >> i & 1 == 0 {
+                    Level::Low
+                } else {
+                    Level::High
+                };
+                space.param(i).at(level)
+            })
+            .collect();
+        points.push((DesignPoint::new(coords), PointKind::Corner));
+    }
+
+    // 2. Axial points: one parameter at minimum/maximum, the rest central.
+    let central = space.uniform_point(Level::Central);
+    for i in 0..k {
+        for level in [Level::Minimum, Level::Maximum] {
+            let mut coords = central.coords().to_vec();
+            coords[i] = space.param(i).at(level);
+            points.push((DesignPoint::new(coords), PointKind::Axial));
+        }
+    }
+
+    // 3. Center replicates.
+    for _ in 0..options.center_replicates {
+        points.push((central.clone(), PointKind::Center));
+    }
+
+    CentralComposite { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParamDef;
+
+    fn space(k: usize) -> ParamSpace {
+        let params = (0..k)
+            .map(|i| ParamDef::new(format!("p{i}"), [0.0, 1.0, 2.0, 3.0, 4.0]).unwrap())
+            .collect();
+        ParamSpace::new(params).unwrap()
+    }
+
+    #[test]
+    fn sizes_match_table4() {
+        // Paper Table 4: atax (k=2) has 11 DoE configurations, the
+        // 3-parameter apps 19, the 4-parameter apps 31.
+        for (k, expected) in [(2usize, 11usize), (3, 19), (4, 31)] {
+            let s = space(k);
+            let d = central_composite(&s, &CcdOptions::paper_defaults(&s));
+            assert_eq!(d.len(), expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn minimal_design_size_formula() {
+        for k in 1..=5 {
+            let s = space(k);
+            let d = central_composite(&s, &CcdOptions::single_center());
+            assert_eq!(d.len(), (1 << k) + 2 * k + 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn corner_points_use_low_high_only() {
+        let s = space(3);
+        let d = central_composite(&s, &CcdOptions::single_center());
+        for (p, kind) in d.annotated() {
+            if *kind == PointKind::Corner {
+                assert!(p.coords().iter().all(|&c| c == 1.0 || c == 3.0), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn axial_points_have_one_extreme_coordinate() {
+        let s = space(3);
+        let d = central_composite(&s, &CcdOptions::single_center());
+        for (p, kind) in d.annotated() {
+            if *kind == PointKind::Axial {
+                let extremes = p.coords().iter().filter(|&&c| c == 0.0 || c == 4.0).count();
+                let centrals = p.coords().iter().filter(|&&c| c == 2.0).count();
+                assert_eq!((extremes, centrals), (1, 2), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn unique_points_collapse_center_replicates() {
+        let s = space(2);
+        let d = central_composite(&s, &CcdOptions::paper_defaults(&s));
+        assert_eq!(d.len(), 11);
+        assert_eq!(d.unique_points().len(), 9); // 4 corners + 4 axial + 1 center
+    }
+
+    #[test]
+    fn atax_points_match_paper_walkthrough() {
+        // Section 2.4 walks through atax explicitly; check every named point.
+        let s = ParamSpace::new(vec![
+            ParamDef::integer("dimension", [500.0, 1250.0, 1500.0, 2000.0, 2300.0]).unwrap(),
+            ParamDef::integer("threads", [4.0, 8.0, 16.0, 32.0, 64.0]).unwrap(),
+        ])
+        .unwrap();
+        let d = central_composite(&s, &CcdOptions::paper_defaults(&s));
+        let expect = [
+            [1250.0, 8.0],
+            [1250.0, 32.0],
+            [2000.0, 8.0],
+            [2000.0, 32.0],
+            [1500.0, 4.0],
+            [1500.0, 64.0],
+            [500.0, 16.0],
+            [2300.0, 16.0],
+            [1500.0, 16.0],
+        ];
+        for e in expect {
+            assert!(d.points().any(|p| p.coords() == e), "missing point {e:?}");
+        }
+    }
+}

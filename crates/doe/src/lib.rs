@@ -1,0 +1,39 @@
+//! Design of experiments for NAPEL training-data collection.
+//!
+//! Cycle-level simulation is the expensive step of NAPEL training; the paper
+//! (Section 2.4) uses the Box–Wilson *central composite design* (CCD) to pick
+//! a small set of application-input configurations — between 11 and 31 for
+//! the evaluated applications — that still spans the input space well enough
+//! to fit a nonlinear model with parameter interactions.
+//!
+//! This crate provides:
+//!
+//! - [`ParamSpace`] / [`ParamDef`] — named input parameters with the paper's
+//!   five levels (*minimum, low, central, high, maximum*),
+//! - [`ccd`] — the central composite design exactly as Figure 3 of the paper
+//!   constructs it (factorial corners at low/high, axial points at
+//!   minimum/maximum, replicated center points),
+//! - [`samplers`] — baseline strategies for ablation: full factorial, uniform
+//!   random, Latin hypercube, and D-optimal (Fedorov exchange),
+//! - [`DesignPoint`] — one concrete input configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use napel_doe::{ccd::CcdOptions, ParamDef, ParamSpace};
+//!
+//! // atax from the paper: (dimension, threads), levels from Table 2.
+//! let space = ParamSpace::new(vec![
+//!     ParamDef::integer("dimension", [500.0, 1250.0, 1500.0, 2000.0, 2300.0])?,
+//!     ParamDef::integer("threads", [4.0, 8.0, 16.0, 32.0, 64.0])?,
+//! ])?;
+//! let design = napel_doe::ccd::central_composite(&space, &CcdOptions::paper_defaults(&space));
+//! assert_eq!(design.len(), 11); // matches Table 4, "#DoE conf." for atax
+//! # Ok::<(), napel_doe::DesignError>(())
+//! ```
+
+pub mod ccd;
+pub mod samplers;
+mod space;
+
+pub use space::{DesignError, DesignPoint, Level, ParamDef, ParamSpace};

@@ -1,0 +1,346 @@
+//! Baseline experimental designs used for ablation against CCD.
+//!
+//! The related-work table of the paper (Table 5) lists the sampling
+//! strategies of competing frameworks: brute force (Wu et al.), Latin
+//! hypercube sampling (SemiBoost / Li et al.), D-optimal design (Joseph et
+//! al., Mariani et al.), and variance-based sampling. We implement them so
+//! the `ablation` bench can quantify what CCD buys NAPEL.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::space::{DesignPoint, Level, ParamSpace};
+
+/// Full five-level factorial design (`5^k` points) — the brute-force
+/// reference whose cost DoE exists to avoid.
+///
+/// # Panics
+///
+/// Panics if the factorial would exceed `1_000_000` points; brute force at
+/// that scale is exactly what the paper argues is intractable.
+pub fn full_factorial(space: &ParamSpace) -> Vec<DesignPoint> {
+    let k = space.dims();
+    let total = 5usize
+        .checked_pow(k as u32)
+        .expect("factorial size overflow");
+    assert!(
+        total <= 1_000_000,
+        "full factorial of {total} points is intractable"
+    );
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; k];
+    loop {
+        out.push(DesignPoint::new(
+            (0..k)
+                .map(|i| space.param(i).at(Level::ALL[idx[i]]))
+                .collect(),
+        ));
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == k {
+                return out;
+            }
+            idx[i] += 1;
+            if idx[i] < 5 {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// `n` points sampled uniformly at random from the continuous box
+/// `[minimum, maximum]^k` (sanitized per parameter).
+pub fn random_design<R: Rng + ?Sized>(
+    space: &ParamSpace,
+    n: usize,
+    rng: &mut R,
+) -> Vec<DesignPoint> {
+    (0..n)
+        .map(|_| {
+            DesignPoint::new(
+                space
+                    .params()
+                    .iter()
+                    .map(|p| {
+                        let (lo, hi) = (p.levels()[0], p.levels()[4]);
+                        p.sanitize(rng.gen_range(lo..=hi))
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Latin hypercube sample of `n` points: each dimension is divided into `n`
+/// strata and every stratum is used exactly once (per dimension).
+pub fn latin_hypercube<R: Rng + ?Sized>(
+    space: &ParamSpace,
+    n: usize,
+    rng: &mut R,
+) -> Vec<DesignPoint> {
+    let k = space.dims();
+    // One stratum permutation per dimension.
+    let mut perms: Vec<Vec<usize>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut p: Vec<usize> = (0..n).collect();
+        p.shuffle(rng);
+        perms.push(p);
+    }
+    (0..n)
+        .map(|row| {
+            DesignPoint::new(
+                (0..k)
+                    .map(|dim| {
+                        let p = space.param(dim);
+                        let (lo, hi) = (p.levels()[0], p.levels()[4]);
+                        let stratum = perms[dim][row] as f64;
+                        let u: f64 = rng.gen();
+                        p.sanitize(lo + (stratum + u) / n as f64 * (hi - lo))
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// D-optimal design of `n` points chosen from the five-level factorial
+/// candidate set by Fedorov exchange, maximizing `det(XᵀX)` of the
+/// full-quadratic model matrix (intercept, linear, two-way interaction, and
+/// square terms) over normalized coordinates.
+///
+/// # Panics
+///
+/// Panics if `n` is smaller than the number of quadratic model terms
+/// (the information matrix would be singular) or larger than the candidate
+/// set.
+pub fn d_optimal<R: Rng + ?Sized>(space: &ParamSpace, n: usize, rng: &mut R) -> Vec<DesignPoint> {
+    let candidates = full_factorial(space);
+    let terms = quadratic_terms(space.dims());
+    assert!(
+        n >= terms,
+        "D-optimal design needs at least {terms} points for a {}-parameter quadratic model",
+        space.dims()
+    );
+    assert!(
+        n <= candidates.len(),
+        "cannot pick {n} of {} candidates",
+        candidates.len()
+    );
+
+    let rows: Vec<Vec<f64>> = candidates
+        .iter()
+        .map(|p| quadratic_row(&space.normalize(p)))
+        .collect();
+
+    // Start from a random subset, then greedily exchange while det improves.
+    let mut chosen: Vec<usize> = (0..candidates.len()).collect();
+    chosen.shuffle(rng);
+    chosen.truncate(n);
+
+    let mut best = log_det_information(&rows, &chosen, terms);
+    let mut improved = true;
+    let mut rounds = 0;
+    while improved && rounds < 20 {
+        improved = false;
+        rounds += 1;
+        for slot in 0..n {
+            let incumbent = chosen[slot];
+            let mut best_cand = incumbent;
+            let mut best_val = best;
+            for cand in 0..candidates.len() {
+                if chosen.contains(&cand) {
+                    continue;
+                }
+                chosen[slot] = cand;
+                let v = log_det_information(&rows, &chosen, terms);
+                if v > best_val + 1e-12 {
+                    best_val = v;
+                    best_cand = cand;
+                }
+            }
+            chosen[slot] = best_cand;
+            if best_cand != incumbent {
+                best = best_val;
+                improved = true;
+            }
+        }
+    }
+    chosen.into_iter().map(|i| candidates[i].clone()).collect()
+}
+
+/// Number of terms in the full quadratic model for `k` parameters.
+fn quadratic_terms(k: usize) -> usize {
+    1 + k + k * (k - 1) / 2 + k
+}
+
+/// Model-matrix row of the full quadratic model for normalized coords `x`.
+fn quadratic_row(x: &[f64]) -> Vec<f64> {
+    let k = x.len();
+    let mut row = Vec::with_capacity(quadratic_terms(k));
+    row.push(1.0);
+    row.extend_from_slice(x);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            row.push(x[i] * x[j]);
+        }
+    }
+    for &xi in x {
+        row.push(xi * xi);
+    }
+    row
+}
+
+/// `log det(XᵀX)` for the selected rows; `-inf` when singular.
+fn log_det_information(rows: &[Vec<f64>], chosen: &[usize], terms: usize) -> f64 {
+    // Information matrix M = sum over chosen rows of r rᵀ.
+    let mut m = vec![0.0f64; terms * terms];
+    for &idx in chosen {
+        let r = &rows[idx];
+        for i in 0..terms {
+            for j in 0..terms {
+                m[i * terms + j] += r[i] * r[j];
+            }
+        }
+    }
+    // log|M| via Gaussian elimination with partial pivoting.
+    let n = terms;
+    let mut log_det = 0.0f64;
+    for col in 0..n {
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[r * n + col].abs()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty column");
+        if pivot_val < 1e-12 {
+            return f64::NEG_INFINITY;
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                m.swap(col * n + j, pivot_row * n + j);
+            }
+        }
+        log_det += m[col * n + col].abs().ln();
+        let pivot = m[col * n + col];
+        for r in (col + 1)..n {
+            let f = m[r * n + col] / pivot;
+            for j in col..n {
+                m[r * n + j] -= f * m[col * n + j];
+            }
+        }
+    }
+    log_det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParamDef;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space2() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::new("a", [0.0, 1.0, 2.0, 3.0, 4.0]).unwrap(),
+            ParamDef::new("b", [10.0, 20.0, 30.0, 40.0, 50.0]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factorial_enumerates_all_level_combos() {
+        let pts = full_factorial(&space2());
+        assert_eq!(pts.len(), 25);
+        let mut seen = std::collections::HashSet::new();
+        for p in &pts {
+            assert!(seen.insert(format!("{p}")), "duplicate {p}");
+        }
+        assert!(pts.iter().any(|p| p.coords() == [0.0, 10.0]));
+        assert!(pts.iter().any(|p| p.coords() == [4.0, 50.0]));
+    }
+
+    #[test]
+    fn random_points_stay_in_box() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in random_design(&space2(), 100, &mut rng) {
+            assert!((0.0..=4.0).contains(&p.coord(0)));
+            assert!((10.0..=50.0).contains(&p.coord(1)));
+        }
+    }
+
+    #[test]
+    fn lhs_covers_each_stratum_once() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10;
+        let pts = latin_hypercube(&space2(), n, &mut rng);
+        assert_eq!(pts.len(), n);
+        for dim in 0..2 {
+            let p = space2();
+            let def = p.param(dim);
+            let (lo, hi) = (def.levels()[0], def.levels()[4]);
+            let mut strata: Vec<usize> = pts
+                .iter()
+                .map(|pt| {
+                    let u = (pt.coord(dim) - lo) / (hi - lo);
+                    ((u * n as f64).floor() as usize).min(n - 1)
+                })
+                .collect();
+            strata.sort_unstable();
+            assert_eq!(strata, (0..n).collect::<Vec<_>>(), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn d_optimal_beats_random_information() {
+        let s = space2();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 9;
+        let terms = quadratic_terms(2);
+        let rows: Vec<Vec<f64>> = full_factorial(&s)
+            .iter()
+            .map(|p| quadratic_row(&s.normalize(p)))
+            .collect();
+
+        let dopt = d_optimal(&s, n, &mut rng);
+        let dopt_idx: Vec<usize> = dopt
+            .iter()
+            .map(|p| {
+                full_factorial(&s)
+                    .iter()
+                    .position(|q| q.approx_eq(p))
+                    .unwrap()
+            })
+            .collect();
+        let dopt_val = log_det_information(&rows, &dopt_idx, terms);
+
+        // Average random subsets are worse in log-det.
+        let mut rand_vals = Vec::new();
+        for seed in 0..5 {
+            let mut r = StdRng::seed_from_u64(100 + seed);
+            let mut idx: Vec<usize> = (0..25).collect();
+            idx.shuffle(&mut r);
+            idx.truncate(n);
+            rand_vals.push(log_det_information(&rows, &idx, terms));
+        }
+        let rand_best = rand_vals.into_iter().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            dopt_val >= rand_best - 1e-9,
+            "D-optimal ({dopt_val}) should dominate random ({rand_best})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least")]
+    fn d_optimal_rejects_undersized_designs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = d_optimal(&space2(), 3, &mut rng);
+    }
+
+    #[test]
+    fn quadratic_row_layout() {
+        let r = quadratic_row(&[2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.0, 3.0, 6.0, 4.0, 9.0]);
+        assert_eq!(r.len(), quadratic_terms(2));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for design-of-experiments constructions.
+
+use proptest::prelude::*;
+
+use napel_doe::ccd::{central_composite, CcdOptions};
+use napel_doe::samplers::{latin_hypercube, random_design};
+use napel_doe::{ParamDef, ParamSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing a valid parameter space of 1..=4 dimensions.
+fn spaces() -> impl Strategy<Value = ParamSpace> {
+    prop::collection::vec(
+        (0.0f64..1000.0, 1.0f64..100.0).prop_map(|(base, step)| {
+            [
+                base,
+                base + step,
+                base + 2.0 * step,
+                base + 3.0 * step,
+                base + 4.0 * step,
+            ]
+        }),
+        1..=4,
+    )
+    .prop_map(|levels| {
+        let params = levels
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| ParamDef::new(format!("p{i}"), l).expect("sorted levels"))
+            .collect();
+        ParamSpace::new(params).expect("non-empty")
+    })
+}
+
+proptest! {
+    #[test]
+    fn ccd_cardinality_formula(space in spaces(), extra_centers in 0usize..6) {
+        let k = space.dims();
+        let opts = CcdOptions { center_replicates: 1 + extra_centers };
+        let d = central_composite(&space, &opts);
+        prop_assert_eq!(d.len(), (1 << k) + 2 * k + 1 + extra_centers);
+    }
+
+    #[test]
+    fn ccd_points_use_only_declared_level_values(space in spaces()) {
+        let d = central_composite(&space, &CcdOptions::paper_defaults(&space));
+        for point in d.points() {
+            for (i, &c) in point.coords().iter().enumerate() {
+                let levels = space.param(i).levels();
+                prop_assert!(
+                    levels.iter().any(|&l| (l - c).abs() < 1e-9),
+                    "coordinate {c} of dim {i} is not one of {levels:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ccd_unique_points_have_no_duplicates(space in spaces()) {
+        let d = central_composite(&space, &CcdOptions::paper_defaults(&space));
+        let unique = d.unique_points();
+        for (i, a) in unique.iter().enumerate() {
+            for b in unique.iter().skip(i + 1) {
+                prop_assert!(!a.approx_eq(b), "duplicate point {a}");
+            }
+        }
+        // Dedup only ever removes points.
+        prop_assert!(unique.len() <= d.len());
+    }
+
+    #[test]
+    fn samplers_stay_in_bounds(space in spaces(), n in 1usize..40, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for points in [
+            random_design(&space, n, &mut rng),
+            latin_hypercube(&space, n, &mut rng),
+        ] {
+            prop_assert_eq!(points.len(), n);
+            for p in &points {
+                for (i, &c) in p.coords().iter().enumerate() {
+                    let l = space.param(i).levels();
+                    prop_assert!(c >= l[0] - 1e-9 && c <= l[4] + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_is_inverse_consistent(space in spaces()) {
+        // Normalizing the min/max corner points gives 0s/1s exactly.
+        use napel_doe::Level;
+        let lo = space.uniform_point(Level::Minimum);
+        let hi = space.uniform_point(Level::Maximum);
+        for v in space.normalize(&lo) {
+            prop_assert!(v.abs() < 1e-12);
+        }
+        for v in space.normalize(&hi) {
+            prop_assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+}

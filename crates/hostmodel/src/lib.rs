@@ -1,0 +1,42 @@
+//! Analytic POWER9-class host performance and energy model.
+//!
+//! The paper measures its host baseline on a real IBM POWER9 AC922 with
+//! AMESTER power telemetry (Section 3.4, Figure 6). Lacking that machine,
+//! this crate provides a first-order analytic model driven entirely by the
+//! microarchitecture-independent [`napel_pisa::ApplicationProfile`]:
+//!
+//! - **compute throughput** from the profile's ILP, bounded by the host's
+//!   superscalar width and SMT scaling,
+//! - **cache behavior** from the reuse-distance CDFs evaluated at the
+//!   host's L1/L2/L3 capacities,
+//! - **prefetching** from spatial locality (line-granularity immediate
+//!   reuse): sequential streams hide most DRAM latency, irregular access
+//!   patterns pay it in full — this is what separates the paper's
+//!   host-friendly kernels (gemv, syrk, trmm...) from the NMC-friendly
+//!   ones (bfs, kme, gram...),
+//! - **bandwidth ceiling** for streaming misses,
+//! - **power** as idle + per-active-core dynamic + DRAM-traffic energy.
+//!
+//! Capacities scale with the workload [`napel_workloads::Scale`] so that
+//! the *ratio* between host cache sizes and scaled-down working sets
+//! matches the paper-scale ratio (see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use napel_hostmodel::HostModel;
+//! use napel_pisa::ApplicationProfile;
+//! use napel_workloads::{Scale, Workload};
+//!
+//! let trace = Workload::Atax.generate(&[1500.0, 16.0], Scale::tiny());
+//! let profile = ApplicationProfile::of(&trace);
+//! let host = HostModel::power9(Scale::tiny());
+//! let r = host.evaluate(&profile);
+//! assert!(r.exec_time_seconds > 0.0 && r.energy_joules > 0.0);
+//! ```
+
+mod config;
+mod model;
+
+pub use config::HostConfig;
+pub use model::{HostModel, HostReport};

@@ -1,0 +1,242 @@
+//! The roofline-style host evaluation.
+
+use napel_pisa::ApplicationProfile;
+use napel_workloads::Scale;
+
+use crate::config::HostConfig;
+
+/// Host execution estimate for one workload configuration — the Figure 6
+/// data of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostReport {
+    /// Estimated wall-clock time, seconds.
+    pub exec_time_seconds: f64,
+    /// Estimated energy, joules.
+    pub energy_joules: f64,
+    /// Diagnostic: cycles per instruction per thread.
+    pub cpi: f64,
+    /// Diagnostic: fraction of memory accesses that reach DRAM.
+    pub dram_fraction: f64,
+    /// Diagnostic: whether the run was bandwidth-bound.
+    pub bandwidth_bound: bool,
+    /// Diagnostic: spatial locality (immediate line reuse) driving the
+    /// prefetch/SIMD/MLP terms.
+    pub spatial: f64,
+    /// Diagnostic: the SIMD vectorizability score in `[0, 1]`.
+    pub vectorizability: f64,
+    /// Diagnostic: average stall cycles per memory instruction.
+    pub stall_per_mem: f64,
+    /// Diagnostic: the 1/IPC compute component of CPI.
+    pub base_cpi: f64,
+    /// Diagnostic: branch-misprediction CPI component.
+    pub branch_cpi: f64,
+}
+
+impl HostReport {
+    /// Energy-delay product, joule-seconds.
+    pub fn edp(&self) -> f64 {
+        self.energy_joules * self.exec_time_seconds
+    }
+}
+
+/// The analytic host model (see crate docs for the formulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostModel {
+    config: HostConfig,
+}
+
+impl HostModel {
+    /// Creates a model with explicit parameters.
+    pub fn new(config: HostConfig) -> Self {
+        HostModel { config }
+    }
+
+    /// The POWER9 host, capacity-scaled to match the workload scale.
+    pub fn power9(scale: Scale) -> Self {
+        HostModel {
+            config: HostConfig::power9_scaled(scale),
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &HostConfig {
+        &self.config
+    }
+
+    /// Evaluates a workload profile on the host.
+    pub fn evaluate(&self, profile: &ApplicationProfile) -> HostReport {
+        let c = &self.config;
+        let insts = (2f64.powf(profile.value("mix.log2_total_insts")) - 1.0).max(1.0);
+        let threads = profile.value("threads").max(1.0);
+        let mem_fraction =
+            profile.value("mix.class.mem_read") + profile.value("mix.class.mem_write");
+
+        // --- Compute component -------------------------------------------
+        // Per-core throughput: workload ILP capped by the machine width,
+        // multiplied by a SIMD bonus for vectorizable code. Vectorizability
+        // requires sequential access (spatial locality ≈ 1, measured at
+        // CDF bucket 1 so a handful of concurrent streams still count as
+        // sequential), a floating-point-rich mix, and straight-line inner
+        // loops: data-dependent branches (kmeans min-tracking, bfs visit
+        // checks) defeat auto-vectorization.
+        let ilp = profile.value("ilp.w256").max(0.1);
+        let spatial_raw = profile.value("reuse.line64.all.cdf.b1").clamp(0.0, 1.0);
+        let fp_frac = profile.value("mix.class.fp").clamp(0.0, 1.0);
+        let cond_frac = profile.value("mix.cond_branch_frac").clamp(0.0, 1.0);
+        let straight_line = (1.0 - 20.0 * cond_frac).clamp(0.0, 1.0);
+        let vectorizability = spatial_raw.powi(2) * (3.0 * fp_frac).min(1.0) * straight_line;
+        let per_core_ipc = ilp.min(c.issue_width) * (1.0 + c.simd_factor * vectorizability);
+
+        // --- Memory component --------------------------------------------
+        // Miss fractions from the line-granularity reuse CDF at each cache
+        // capacity. Caches are per-core; the profile's union stream is the
+        // right view for the shared L3 (modeled as cores * l3 too).
+        let cdf = |bucket: usize| {
+            // Combined read+write line-granularity CDF.
+            profile.value(&format!("reuse.line64.all.cdf.b{bucket}"))
+        };
+        let l1_hit = cdf(c.capacity_bucket(c.l1_bytes));
+        let l2_hit = cdf(c.capacity_bucket(c.l2_bytes));
+        let l3_total = c.l3_bytes * c.cores as u64;
+        let l3_hit = cdf(c.capacity_bucket(l3_total));
+        let dram_fraction = (1.0 - l3_hit).clamp(0.0, 1.0);
+
+        // Spatial locality: immediate line reuse ~ sequential streaming.
+        // Prefetchers hide that fraction of DRAM latency, and the machine's
+        // miss-level parallelism is only achievable on independent
+        // (sequential) streams; random chains serialize their misses.
+        let spatial = spatial_raw;
+        let exposed = 1.0 - c.prefetch_coverage * spatial;
+        let effective_mlp = 1.0 + (c.mlp - 1.0) * spatial.sqrt();
+
+        // Average stall cycles per memory instruction.
+        let miss_l1 = (1.0 - l1_hit).clamp(0.0, 1.0);
+        let miss_l2 = (1.0 - l2_hit).clamp(0.0, 1.0);
+        let stall_per_mem = (miss_l1 - miss_l2).max(0.0) * c.l2_latency
+            + (miss_l2 - dram_fraction).max(0.0) * c.l3_latency
+            + dram_fraction * c.mem_latency * exposed;
+        let stall_per_mem = stall_per_mem / effective_mlp;
+
+        // TLB: irregular walks over footprints beyond the TLB reach pay
+        // page-walk latency that neither prefetchers nor MLP hide.
+        let footprint = 2f64.powf(profile.value("footprint.log2_total_bytes")) - 1.0;
+        let tlb_excess =
+            ((footprint / c.tlb_reach_bytes as f64).max(1.0).log2() / 4.0).clamp(0.0, 1.0);
+        // Squared: sequential walks touch each page ~1000 times before
+        // moving on, so even modest spatial locality suppresses walks.
+        let tlb_stall = (1.0 - spatial).powi(2) * tlb_excess * c.tlb_walk_cycles / 2.0;
+        let stall_per_mem = stall_per_mem + tlb_stall;
+
+        // Branches with data-dependent outcomes mispredict; loop back-edges
+        // do not (they are taken, predicted, and free on this scale).
+        let branch_penalty = cond_frac * 0.5 * c.mispredict_cycles;
+
+        // --- Assemble CPI and time ---------------------------------------
+        let cpi = 1.0 / per_core_ipc + mem_fraction * stall_per_mem + branch_penalty;
+        let hw_threads = (c.cores * c.smt) as f64;
+        // SMT threads share a core's width: effective parallelism.
+        let parallel = threads.min(hw_threads);
+        let core_equiv =
+            threads.min(c.cores as f64) + 0.35 * (parallel - threads.min(c.cores as f64));
+        let cycles = insts * cpi / core_equiv.max(1.0);
+        let t_cpu = cycles / (c.freq_ghz * 1e9);
+
+        // Bandwidth roofline: bytes that must cross the memory bus.
+        let mem_insts = insts * mem_fraction;
+        let dram_bytes = mem_insts * dram_fraction * c.line_bytes as f64;
+        let t_bw = dram_bytes / c.mem_bandwidth;
+        let bandwidth_bound = t_bw > t_cpu;
+        let exec_time_seconds = t_cpu.max(t_bw).max(1e-12);
+
+        // --- Energy -------------------------------------------------------
+        let busy_cores = threads.min(c.cores as f64).max(1.0);
+        let power = c.idle_power_w + busy_cores * c.core_power_w;
+        let energy_joules = power * exec_time_seconds + dram_bytes * c.dram_energy_per_byte;
+
+        HostReport {
+            exec_time_seconds,
+            energy_joules,
+            cpi,
+            dram_fraction,
+            bandwidth_bound,
+            spatial,
+            vectorizability,
+            stall_per_mem,
+            base_cpi: 1.0 / per_core_ipc,
+            branch_cpi: branch_penalty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_workloads::Workload;
+
+    fn profile(w: Workload) -> ApplicationProfile {
+        let t = w.generate(&w.spec().central_values(), Scale::tiny());
+        ApplicationProfile::of(&t)
+    }
+
+    fn model() -> HostModel {
+        HostModel::power9(Scale::tiny())
+    }
+
+    #[test]
+    fn reports_are_positive_and_finite() {
+        for w in [Workload::Atax, Workload::Bfs, Workload::Syrk] {
+            let r = model().evaluate(&profile(w));
+            assert!(
+                r.exec_time_seconds > 0.0 && r.exec_time_seconds.is_finite(),
+                "{w}"
+            );
+            assert!(r.energy_joules > 0.0 && r.energy_joules.is_finite(), "{w}");
+            assert!(r.edp() > 0.0, "{w}");
+        }
+    }
+
+    #[test]
+    fn irregular_kernels_have_higher_cpi_than_regular() {
+        let bfs = model().evaluate(&profile(Workload::Bfs));
+        let syrk = model().evaluate(&profile(Workload::Syrk));
+        assert!(
+            bfs.cpi > syrk.cpi,
+            "bfs (irregular) CPI {} must exceed syrk (cache-friendly) CPI {}",
+            bfs.cpi,
+            syrk.cpi
+        );
+    }
+
+    #[test]
+    fn more_work_takes_more_time() {
+        let small = Workload::Gemv.generate(&[500.0, 16.0, 50.0], Scale::tiny());
+        let large = Workload::Gemv.generate(&[2250.0, 16.0, 50.0], Scale::tiny());
+        let m = model();
+        let ts = m
+            .evaluate(&ApplicationProfile::of(&small))
+            .exec_time_seconds;
+        let tl = m
+            .evaluate(&ApplicationProfile::of(&large))
+            .exec_time_seconds;
+        assert!(tl > ts, "larger input must take longer: {tl} vs {ts}");
+    }
+
+    #[test]
+    fn threads_speed_up_execution() {
+        let m = model();
+        let one = Workload::Syrk.generate(&[320.0, 320.0, 1.0], Scale::tiny());
+        let sixteen = Workload::Syrk.generate(&[320.0, 320.0, 16.0], Scale::tiny());
+        let t1 = m.evaluate(&ApplicationProfile::of(&one)).exec_time_seconds;
+        let t16 = m
+            .evaluate(&ApplicationProfile::of(&sixteen))
+            .exec_time_seconds;
+        assert!(t16 < t1 / 4.0, "16 threads must help: {t16} vs {t1}");
+    }
+
+    #[test]
+    fn energy_includes_idle_floor() {
+        let r = model().evaluate(&profile(Workload::Atax));
+        let implied_power = r.energy_joules / r.exec_time_seconds;
+        assert!(implied_power >= HostConfig::power9_default().idle_power_w * 0.99);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the analytic host model.
+
+use proptest::prelude::*;
+
+use napel_hostmodel::{HostConfig, HostModel};
+use napel_pisa::ApplicationProfile;
+use napel_workloads::{Scale, Workload};
+
+fn tiny_profile(w: Workload, threads: f64) -> ApplicationProfile {
+    let spec = w.spec();
+    let mut params = spec.central_values();
+    params[spec.threads_index()] = threads;
+    ApplicationProfile::of(&w.generate(&params, Scale::tiny()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn reports_are_positive_for_any_workload_and_threads(
+        which in 0..Workload::ALL.len(),
+        threads in 1u32..64,
+    ) {
+        let w = Workload::ALL[which];
+        let host = HostModel::power9(Scale::tiny());
+        let r = host.evaluate(&tiny_profile(w, f64::from(threads)));
+        prop_assert!(r.exec_time_seconds > 0.0 && r.exec_time_seconds.is_finite());
+        prop_assert!(r.energy_joules > 0.0 && r.energy_joules.is_finite());
+        prop_assert!(r.cpi > 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.dram_fraction));
+        prop_assert!((0.0..=1.0).contains(&r.spatial));
+        prop_assert!((0.0..=1.0).contains(&r.vectorizability));
+        // Energy implies a power between idle and the full-load envelope
+        // (plus DRAM-traffic energy, which is small at tiny scale).
+        let cfg = HostConfig::power9_default();
+        let implied = r.energy_joules / r.exec_time_seconds;
+        prop_assert!(implied >= cfg.idle_power_w * 0.99, "power {implied} below idle");
+        let envelope = cfg.idle_power_w + cfg.cores as f64 * cfg.core_power_w + 50.0;
+        prop_assert!(implied <= envelope, "power {implied} above envelope {envelope}");
+    }
+
+    #[test]
+    fn faster_memory_never_hurts(which in 0..Workload::ALL.len()) {
+        let w = Workload::ALL[which];
+        let profile = tiny_profile(w, 16.0);
+        let base = HostConfig::power9_scaled(Scale::tiny());
+        let slow = HostModel::new(HostConfig { mem_latency: base.mem_latency * 4.0, ..base.clone() });
+        let fast = HostModel::new(base);
+        prop_assert!(
+            fast.evaluate(&profile).exec_time_seconds
+                <= slow.evaluate(&profile).exec_time_seconds + 1e-15
+        );
+    }
+
+    #[test]
+    fn wider_simd_never_hurts(which in 0..Workload::ALL.len()) {
+        let w = Workload::ALL[which];
+        let profile = tiny_profile(w, 16.0);
+        let base = HostConfig::power9_scaled(Scale::tiny());
+        let narrow = HostModel::new(HostConfig { simd_factor: 0.0, ..base.clone() });
+        let wide = HostModel::new(base);
+        prop_assert!(
+            wide.evaluate(&profile).exec_time_seconds
+                <= narrow.evaluate(&profile).exec_time_seconds + 1e-15
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! A minimal Fx-style hasher for the hot per-instruction maps.
+//!
+//! Trace analysis performs several hash-map operations per dynamic
+//! instruction; SipHash (std's default) dominates the profile there. This
+//! is the well-known `FxHasher` multiply-rotate scheme (as used by rustc),
+//! reimplemented to keep the workspace dependency-free. It is *not* DoS
+//! resistant — fine for register IDs and addresses we generate ourselves.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiply-rotate hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7919, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 7919)), Some(&(i as u32)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        use std::hash::BuildHasher;
+        let bh = FxBuildHasher::default();
+        let hash = |v: u64| bh.hash_one(v);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash(i));
+        }
+        assert_eq!(seen.len(), 10_000, "sequential keys must not collide");
+    }
+
+    #[test]
+    fn set_alias_works() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+}

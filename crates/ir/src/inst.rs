@@ -1,0 +1,338 @@
+//! The dynamic instruction record and its opcode taxonomy.
+
+use std::fmt;
+
+/// Virtual register identifier produced by the [`Emitter`](crate::Emitter).
+///
+/// Registers are in static single assignment form: every value-producing
+/// instruction defines a fresh register. This is what an LLVM-IR-level
+/// instrumentation pass observes, and it makes ideal-machine ILP analysis a
+/// pure dataflow computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u32);
+
+/// Sentinel meaning "no register operand in this slot".
+pub const NO_REG: u32 = u32::MAX;
+
+/// Sentinel meaning "this instruction has no memory address".
+pub const NO_ADDR: u64 = u64::MAX;
+
+/// Dynamic opcode, at the granularity the PISA profile distinguishes.
+///
+/// The taxonomy follows Table 1 of the paper ("fraction of instruction types:
+/// integer, floating point, memory read, memory write, etc."), refined enough
+/// for the simulator to assign distinct latencies and energies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Integer add/subtract/compare-style single-cycle ALU operation.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide / remainder.
+    IntDiv,
+    /// Floating-point add/subtract.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / sqrt.
+    FpDiv,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional or unconditional control transfer.
+    Branch,
+    /// Register-to-register move / constant materialization.
+    Mov,
+    /// Address-generation arithmetic (base + index*scale).
+    AddrCalc,
+    /// Anything else (fences, calls, ...). Rare in the evaluated kernels.
+    Other,
+}
+
+impl Opcode {
+    /// All opcodes, in `repr` order. Useful for building per-opcode feature
+    /// vectors with a stable layout.
+    pub const ALL: [Opcode; 12] = [
+        Opcode::IntAlu,
+        Opcode::IntMul,
+        Opcode::IntDiv,
+        Opcode::FpAdd,
+        Opcode::FpMul,
+        Opcode::FpDiv,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Branch,
+        Opcode::Mov,
+        Opcode::AddrCalc,
+        Opcode::Other,
+    ];
+
+    /// Stable index of this opcode in [`Opcode::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Coarse class used for the instruction-mix features.
+    #[inline]
+    pub fn class(self) -> OpClass {
+        match self {
+            Opcode::IntAlu | Opcode::IntMul | Opcode::IntDiv | Opcode::AddrCalc => OpClass::Int,
+            Opcode::FpAdd | Opcode::FpMul | Opcode::FpDiv => OpClass::Fp,
+            Opcode::Load => OpClass::MemRead,
+            Opcode::Store => OpClass::MemWrite,
+            Opcode::Branch => OpClass::Control,
+            Opcode::Mov | Opcode::Other => OpClass::Other,
+        }
+    }
+
+    /// Whether the opcode reads or writes memory.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// Short lowercase mnemonic, stable across releases (used in feature
+    /// names and reports).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::IntAlu => "ialu",
+            Opcode::IntMul => "imul",
+            Opcode::IntDiv => "idiv",
+            Opcode::FpAdd => "fadd",
+            Opcode::FpMul => "fmul",
+            Opcode::FpDiv => "fdiv",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::Branch => "branch",
+            Opcode::Mov => "mov",
+            Opcode::AddrCalc => "addr",
+            Opcode::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Coarse instruction class, matching the paper's instruction-mix taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Integer arithmetic (including address generation).
+    Int,
+    /// Floating-point arithmetic.
+    Fp,
+    /// Memory reads.
+    MemRead,
+    /// Memory writes.
+    MemWrite,
+    /// Control flow.
+    Control,
+    /// Moves and miscellanea.
+    Other,
+}
+
+impl OpClass {
+    /// All classes in a stable order.
+    pub const ALL: [OpClass; 6] = [
+        OpClass::Int,
+        OpClass::Fp,
+        OpClass::MemRead,
+        OpClass::MemWrite,
+        OpClass::Control,
+        OpClass::Other,
+    ];
+
+    /// Stable index of this class in [`OpClass::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Int => 0,
+            OpClass::Fp => 1,
+            OpClass::MemRead => 2,
+            OpClass::MemWrite => 3,
+            OpClass::Control => 4,
+            OpClass::Other => 5,
+        }
+    }
+
+    /// Short lowercase label, stable across releases.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Int => "int",
+            OpClass::Fp => "fp",
+            OpClass::MemRead => "mem_read",
+            OpClass::MemWrite => "mem_write",
+            OpClass::Control => "control",
+            OpClass::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One dynamic instruction, as observed by an IR-level instrumentation pass.
+///
+/// Fields use compact sentinel encodings ([`NO_REG`], [`NO_ADDR`]) so the
+/// record stays 32 bytes and traces of millions of instructions are cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Static instruction identifier (analogous to a program counter). Two
+    /// dynamic instances of the same source-level operation share a `pc`,
+    /// which is what instruction-reuse-distance analysis keys on.
+    pub pc: u32,
+    /// Opcode.
+    pub op: Opcode,
+    /// Access size in bytes for loads/stores; 0 otherwise.
+    pub size: u8,
+    /// Destination virtual register, or [`NO_REG`].
+    pub dst: u32,
+    /// Source virtual registers; unused slots hold [`NO_REG`].
+    pub srcs: [u32; 2],
+    /// Byte address for loads/stores, or [`NO_ADDR`].
+    pub addr: u64,
+}
+
+impl Inst {
+    /// Creates a non-memory instruction.
+    #[inline]
+    pub fn compute(pc: u32, op: Opcode, dst: u32, srcs: [u32; 2]) -> Self {
+        debug_assert!(!op.is_mem());
+        Inst {
+            pc,
+            op,
+            size: 0,
+            dst,
+            srcs,
+            addr: NO_ADDR,
+        }
+    }
+
+    /// Creates a load of `size` bytes at `addr` defining `dst`.
+    #[inline]
+    pub fn load(pc: u32, addr: u64, size: u8, dst: u32, addr_src: u32) -> Self {
+        Inst {
+            pc,
+            op: Opcode::Load,
+            size,
+            dst,
+            srcs: [addr_src, NO_REG],
+            addr,
+        }
+    }
+
+    /// Creates a store of `size` bytes of register `val` to `addr`.
+    #[inline]
+    pub fn store(pc: u32, addr: u64, size: u8, val: u32, addr_src: u32) -> Self {
+        Inst {
+            pc,
+            op: Opcode::Store,
+            size,
+            dst: NO_REG,
+            srcs: [val, addr_src],
+            addr,
+        }
+    }
+
+    /// Destination register, if any.
+    #[inline]
+    pub fn dst_reg(&self) -> Option<Reg> {
+        (self.dst != NO_REG).then_some(Reg(self.dst))
+    }
+
+    /// Iterator over the defined source registers.
+    #[inline]
+    pub fn src_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().filter(|&&r| r != NO_REG).map(|&r| Reg(r))
+    }
+
+    /// Number of register operands read by this instruction.
+    #[inline]
+    pub fn num_src_regs(&self) -> usize {
+        self.srcs.iter().filter(|&&r| r != NO_REG).count()
+    }
+
+    /// Memory address, if this is a load or store.
+    #[inline]
+    pub fn mem_addr(&self) -> Option<u64> {
+        (self.addr != NO_ADDR).then_some(self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_all_matches_indices() {
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "opcode {op} out of order in ALL");
+        }
+    }
+
+    #[test]
+    fn opclass_all_matches_indices() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "class {c} out of order in ALL");
+        }
+    }
+
+    #[test]
+    fn opcode_classes_are_consistent() {
+        assert_eq!(Opcode::Load.class(), OpClass::MemRead);
+        assert_eq!(Opcode::Store.class(), OpClass::MemWrite);
+        assert_eq!(Opcode::FpMul.class(), OpClass::Fp);
+        assert_eq!(Opcode::AddrCalc.class(), OpClass::Int);
+        assert_eq!(Opcode::Branch.class(), OpClass::Control);
+        assert!(Opcode::Load.is_mem());
+        assert!(Opcode::Store.is_mem());
+        assert!(!Opcode::FpAdd.is_mem());
+    }
+
+    #[test]
+    fn inst_is_compact() {
+        assert!(std::mem::size_of::<Inst>() <= 32, "Inst grew past 32 bytes");
+    }
+
+    #[test]
+    fn compute_inst_has_no_addr() {
+        let i = Inst::compute(7, Opcode::FpAdd, 3, [1, 2]);
+        assert_eq!(i.mem_addr(), None);
+        assert_eq!(i.dst_reg(), Some(Reg(3)));
+        assert_eq!(i.num_src_regs(), 2);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let l = Inst::load(1, 0xdead_beef, 8, 5, NO_REG);
+        assert_eq!(l.mem_addr(), Some(0xdead_beef));
+        assert_eq!(l.dst_reg(), Some(Reg(5)));
+        assert_eq!(l.num_src_regs(), 0);
+
+        let s = Inst::store(2, 0x42, 4, 5, 6);
+        assert_eq!(s.mem_addr(), Some(0x42));
+        assert_eq!(s.dst_reg(), None);
+        assert_eq!(s.num_src_regs(), 2);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
+        }
+    }
+}

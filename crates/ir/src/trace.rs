@@ -1,0 +1,376 @@
+//! Trace containers and streaming sinks.
+
+use crate::inst::{Inst, Opcode};
+
+/// A consumer of a dynamic instruction stream.
+///
+/// Workload kernels are written against this trait so that profiles and
+/// simulations can be computed either from an in-memory [`Trace`] or fully
+/// streaming without materializing the trace. Note that a `&mut T` where
+/// `T: TraceSink` is itself a sink, so sinks can be passed by mutable
+/// reference.
+pub trait TraceSink {
+    /// Records one dynamic instruction.
+    fn record(&mut self, inst: Inst);
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    #[inline]
+    fn record(&mut self, inst: Inst) {
+        (**self).record(inst);
+    }
+}
+
+/// An in-memory dynamic instruction trace for one hardware thread.
+///
+/// # Example
+///
+/// ```
+/// use napel_ir::{Inst, Opcode, Trace, TraceSink};
+///
+/// let mut t = Trace::new();
+/// t.record(Inst::compute(0, Opcode::IntAlu, 1, [napel_ir::NO_REG; 2]));
+/// assert_eq!(t.len(), 1);
+/// assert_eq!(t.count_op(Opcode::IntAlu), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    insts: Vec<Inst>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { insts: Vec::new() }
+    }
+
+    /// Creates an empty trace with room for `cap` instructions.
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace {
+            insts: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instructions as a slice.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Iterator over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Inst> {
+        self.insts.iter()
+    }
+
+    /// Number of dynamic instances of `op`.
+    pub fn count_op(&self, op: Opcode) -> usize {
+        self.insts.iter().filter(|i| i.op == op).count()
+    }
+
+    /// Number of memory-accessing instructions.
+    pub fn mem_insts(&self) -> usize {
+        self.insts.iter().filter(|i| i.op.is_mem()).count()
+    }
+}
+
+impl TraceSink for Trace {
+    #[inline]
+    fn record(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+}
+
+impl Extend<Inst> for Trace {
+    fn extend<I: IntoIterator<Item = Inst>>(&mut self, iter: I) {
+        self.insts.extend(iter);
+    }
+}
+
+impl FromIterator<Inst> for Trace {
+    fn from_iter<I: IntoIterator<Item = Inst>>(iter: I) -> Self {
+        Trace {
+            insts: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Inst;
+    type IntoIter = std::slice::Iter<'a, Inst>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Inst;
+    type IntoIter = std::vec::IntoIter<Inst>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.into_iter()
+    }
+}
+
+/// Per-thread traces of one kernel execution.
+///
+/// The paper's kernels are offloaded with a *threads* input parameter; each
+/// software thread maps onto one NMC processing element. `MultiTrace` holds
+/// one [`Trace`] per thread plus convenience views over the union stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MultiTrace {
+    threads: Vec<Trace>,
+}
+
+impl MultiTrace {
+    /// Creates a multi-trace with `num_threads` empty per-thread traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(
+            num_threads > 0,
+            "a kernel execution has at least one thread"
+        );
+        MultiTrace {
+            threads: vec![Trace::new(); num_threads],
+        }
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The trace of thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.num_threads()`.
+    pub fn thread(&self, t: usize) -> &Trace {
+        &self.threads[t]
+    }
+
+    /// Mutable sink for thread `t`, for use with [`Emitter`](crate::Emitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.num_threads()`.
+    pub fn thread_sink(&mut self, t: usize) -> &mut Trace {
+        &mut self.threads[t]
+    }
+
+    /// Iterator over the per-thread traces.
+    pub fn iter(&self) -> std::slice::Iter<'_, Trace> {
+        self.threads.iter()
+    }
+
+    /// Total dynamic instructions across all threads.
+    pub fn total_insts(&self) -> usize {
+        self.threads.iter().map(Trace::len).sum()
+    }
+
+    /// Iterator over the union stream: threads interleaved round-robin, one
+    /// instruction at a time, in thread order. This is the deterministic
+    /// merged view the PISA profiler analyzes.
+    pub fn interleaved(&self) -> Interleaved<'_> {
+        Interleaved {
+            threads: &self.threads,
+            cursor: vec![0; self.threads.len()],
+            t: 0,
+            remaining: self.total_insts(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a MultiTrace {
+    type Item = &'a Trace;
+    type IntoIter = std::slice::Iter<'a, Trace>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.threads.iter()
+    }
+}
+
+/// Iterator created by [`MultiTrace::interleaved`].
+#[derive(Debug, Clone)]
+pub struct Interleaved<'a> {
+    threads: &'a [Trace],
+    cursor: Vec<usize>,
+    t: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for Interleaved<'a> {
+    type Item = &'a Inst;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        loop {
+            let t = self.t;
+            self.t = (self.t + 1) % self.threads.len();
+            let c = self.cursor[t];
+            if c < self.threads[t].len() {
+                self.cursor[t] = c + 1;
+                self.remaining -= 1;
+                return Some(&self.threads[t].insts()[c]);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Interleaved<'_> {}
+
+/// A sink that duplicates every instruction into two downstream sinks.
+///
+/// Useful to feed the profiler and the simulator from a single kernel
+/// execution without materializing the trace.
+#[derive(Debug)]
+pub struct TeeSink<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Creates a tee over two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+
+    /// Consumes the tee and returns the two sinks.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    #[inline]
+    fn record(&mut self, inst: Inst) {
+        self.first.record(inst);
+        self.second.record(inst);
+    }
+}
+
+/// A sink that only counts instructions (per opcode), discarding the stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    total: u64,
+    per_op: [u64; Opcode::ALL.len()],
+}
+
+impl CountingSink {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total instructions observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Instructions of opcode `op` observed.
+    pub fn count(&self, op: Opcode) -> u64 {
+        self.per_op[op.index()]
+    }
+}
+
+impl TraceSink for CountingSink {
+    #[inline]
+    fn record(&mut self, inst: Inst) {
+        self.total += 1;
+        self.per_op[inst.op.index()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::NO_REG;
+
+    fn inst(pc: u32) -> Inst {
+        Inst::compute(pc, Opcode::IntAlu, NO_REG, [NO_REG, NO_REG])
+    }
+
+    #[test]
+    fn trace_records_in_order() {
+        let mut t = Trace::new();
+        for pc in 0..10 {
+            t.record(inst(pc));
+        }
+        assert_eq!(t.len(), 10);
+        assert!(t.iter().enumerate().all(|(i, ins)| ins.pc as usize == i));
+    }
+
+    #[test]
+    fn multitrace_interleaves_round_robin() {
+        let mut m = MultiTrace::new(2);
+        m.thread_sink(0).record(inst(0));
+        m.thread_sink(0).record(inst(2));
+        m.thread_sink(1).record(inst(1));
+        let pcs: Vec<u32> = m.interleaved().map(|i| i.pc).collect();
+        assert_eq!(pcs, vec![0, 1, 2]);
+        assert_eq!(m.interleaved().len(), 3);
+    }
+
+    #[test]
+    fn interleave_handles_unbalanced_threads() {
+        let mut m = MultiTrace::new(3);
+        for pc in 0..5 {
+            m.thread_sink(0).record(inst(pc));
+        }
+        m.thread_sink(2).record(inst(100));
+        assert_eq!(m.interleaved().count(), 6);
+        assert_eq!(m.total_insts(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = MultiTrace::new(0);
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let mut tee = TeeSink::new(Trace::new(), CountingSink::new());
+        tee.record(inst(1));
+        tee.record(inst(2));
+        let (t, c) = tee.into_inner();
+        assert_eq!(t.len(), 2);
+        assert_eq!(c.total(), 2);
+        assert_eq!(c.count(Opcode::IntAlu), 2);
+        assert_eq!(c.count(Opcode::FpMul), 0);
+    }
+
+    #[test]
+    fn trace_from_iterator() {
+        let t: Trace = (0..4).map(inst).collect();
+        assert_eq!(t.len(), 4);
+        let mut t2 = Trace::new();
+        t2.extend(t.clone());
+        assert_eq!(t2, t);
+    }
+
+    #[test]
+    fn sink_via_mut_ref() {
+        fn feed<S: TraceSink>(mut s: S) {
+            s.record(inst(0));
+        }
+        let mut t = Trace::new();
+        feed(&mut t);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type shared by every estimator in the crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error fitting or evaluating a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// The training set has no rows.
+    EmptyDataset,
+    /// A row had the wrong number of features.
+    FeatureMismatch {
+        /// Number of features the dataset declares.
+        expected: usize,
+        /// Number of features the row carried.
+        got: usize,
+    },
+    /// The dataset contains a non-finite feature or target value.
+    NonFiniteValue {
+        /// Row index of the offending value.
+        row: usize,
+    },
+    /// Not enough samples for the requested validation scheme.
+    NotEnoughSamples {
+        /// Samples required.
+        needed: usize,
+        /// Samples available.
+        available: usize,
+    },
+    /// A linear system was singular (e.g. ridge with zero regularization on
+    /// collinear features).
+    SingularSystem,
+    /// A hyper-parameter value is invalid (zero trees, zero hidden units...).
+    InvalidHyperParameter {
+        /// Description of what was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyDataset => write!(f, "training set has no rows"),
+            MlError::FeatureMismatch { expected, got } => {
+                write!(f, "row has {got} features, dataset declares {expected}")
+            }
+            MlError::NonFiniteValue { row } => {
+                write!(f, "non-finite value in dataset at row {row}")
+            }
+            MlError::NotEnoughSamples { needed, available } => {
+                write!(f, "needs {needed} samples, only {available} available")
+            }
+            MlError::SingularSystem => write!(f, "linear system is singular"),
+            MlError::InvalidHyperParameter { what } => {
+                write!(f, "invalid hyper-parameter: {what}")
+            }
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msgs = [
+            MlError::EmptyDataset.to_string(),
+            MlError::FeatureMismatch {
+                expected: 3,
+                got: 2,
+            }
+            .to_string(),
+            MlError::NonFiniteValue { row: 7 }.to_string(),
+            MlError::NotEnoughSamples {
+                needed: 5,
+                available: 2,
+            }
+            .to_string(),
+            MlError::SingularSystem.to_string(),
+            MlError::InvalidHyperParameter { what: "zero trees" }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m}");
+            assert!(!m.ends_with('.'), "{m}");
+        }
+    }
+}

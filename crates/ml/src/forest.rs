@@ -1,0 +1,354 @@
+//! Random forest regression — NAPEL's predictor.
+//!
+//! A bagged ensemble of CART trees ([`crate::tree`]), each trained on a
+//! bootstrap resample with a random feature subset per split, predicting the
+//! mean of the trees. The paper picked random forests because they "embed
+//! automatic procedures to screen many input features" — with ~400 profile
+//! features and tens of training points, per-split feature subsampling and
+//! averaging provide that screening. Out-of-bag error and permutation
+//! importance are included for the feature-screening ablation.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, DecisionTreeParams, FeatureSubset};
+use crate::{Estimator, MlError, Regressor};
+
+/// Hyper-parameters of a random forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForestParams {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Per-tree CART parameters (feature subset applies per split).
+    pub tree: DecisionTreeParams,
+    /// Whether each tree trains on a bootstrap resample (vs the full set).
+    pub bootstrap: bool,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        RandomForestParams {
+            num_trees: 100,
+            tree: DecisionTreeParams {
+                feature_subset: FeatureSubset::Third,
+                ..DecisionTreeParams::default()
+            },
+            bootstrap: true,
+        }
+    }
+}
+
+impl Estimator for RandomForestParams {
+    type Model = RandomForest;
+
+    fn fit(&self, data: &Dataset, rng: &mut dyn RngCore) -> Result<RandomForest, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if self.num_trees == 0 {
+            return Err(MlError::InvalidHyperParameter {
+                what: "num_trees must be >= 1",
+            });
+        }
+        let n = data.len();
+        let mut trees = Vec::with_capacity(self.num_trees);
+        let mut oob: Vec<(f64, u32)> = vec![(0.0, 0); n];
+        for _ in 0..self.num_trees {
+            let (sample, in_bag) = if self.bootstrap {
+                let mut in_bag = vec![false; n];
+                let idx: Vec<usize> = (0..n)
+                    .map(|_| {
+                        let i = rng.gen_range(0..n);
+                        in_bag[i] = true;
+                        i
+                    })
+                    .collect();
+                (data.subset(&idx), in_bag)
+            } else {
+                (data.clone(), vec![true; n])
+            };
+            let tree = self.tree.fit(&sample, rng)?;
+            for (i, bagged) in in_bag.iter().enumerate() {
+                if !bagged {
+                    let (sum, cnt) = oob[i];
+                    oob[i] = (sum + tree.predict_one(data.row(i)), cnt + 1);
+                }
+            }
+            trees.push(tree);
+        }
+
+        // Out-of-bag mean squared error over the rows that were ever OOB.
+        let mut oob_sq = 0.0;
+        let mut oob_n = 0usize;
+        for (i, &(sum, cnt)) in oob.iter().enumerate() {
+            if cnt > 0 {
+                let pred = sum / cnt as f64;
+                oob_sq += (pred - data.target(i)).powi(2);
+                oob_n += 1;
+            }
+        }
+        let oob_mse = (oob_n > 0).then(|| oob_sq / oob_n as f64);
+
+        Ok(RandomForest {
+            trees,
+            num_features: data.num_features(),
+            oob_mse,
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "forest(trees={}, max_depth={}, min_leaf={}, features={:?}, bootstrap={})",
+            self.num_trees,
+            self.tree.max_depth,
+            self.tree.min_samples_leaf,
+            self.tree.feature_subset,
+            self.bootstrap
+        )
+    }
+}
+
+/// A fitted random forest.
+///
+/// # Example
+///
+/// ```
+/// use napel_ml::dataset::Dataset;
+/// use napel_ml::forest::RandomForestParams;
+/// use napel_ml::{Estimator, Regressor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut b = Dataset::builder(vec!["x".into()]);
+/// for i in 0..50 {
+///     let x = i as f64 / 5.0;
+///     b.push_row(vec![x], x.sin())?;
+/// }
+/// let f = RandomForestParams::default().fit(&b.build()?, &mut StdRng::seed_from_u64(1))?;
+/// assert!((f.predict_one(&[1.5]) - 1.5f64.sin()).abs() < 0.25);
+/// # Ok::<(), napel_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    num_features: usize,
+    oob_mse: Option<f64>,
+}
+
+impl RandomForest {
+    /// Number of trees in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Out-of-bag mean squared error, if bootstrap left any row out of at
+    /// least one bag.
+    pub fn oob_mse(&self) -> Option<f64> {
+        self.oob_mse
+    }
+
+    /// Per-tree predictions for one input (useful for uncertainty bands).
+    pub fn tree_predictions(&self, x: &[f64]) -> Vec<f64> {
+        self.trees.iter().map(|t| t.predict_one(x)).collect()
+    }
+
+    /// Standard deviation of per-tree predictions — a cheap epistemic
+    /// uncertainty proxy.
+    pub fn prediction_std(&self, x: &[f64]) -> f64 {
+        let preds = self.tree_predictions(x);
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        (preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64).sqrt()
+    }
+
+    /// Permutation feature importance on `data`: the increase in MSE when
+    /// feature `j` is shuffled, for every `j`. Larger = more important.
+    pub fn permutation_importance<R: Rng + ?Sized>(&self, data: &Dataset, rng: &mut R) -> Vec<f64> {
+        let base = mse(&self.predict(data), data.targets());
+        let n = data.len();
+        let d = data.num_features();
+        let mut importances = Vec::with_capacity(d);
+        for j in 0..d {
+            // Shuffle column j by drawing a random permutation of rows.
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                perm.swap(i, rng.gen_range(0..=i));
+            }
+            let preds: Vec<f64> = (0..n)
+                .map(|i| {
+                    let mut row = data.row(i).to_vec();
+                    row[j] = data.row(perm[i])[j];
+                    self.predict_one(&row)
+                })
+                .collect();
+            importances.push(mse(&preds, data.targets()) - base);
+        }
+        importances
+    }
+}
+
+impl Regressor for RandomForest {
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_features, "feature count mismatch");
+        self.trees.iter().map(|t| t.predict_one(x)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+fn mse(pred: &[f64], actual: &[f64]) -> f64 {
+    pred.iter()
+        .zip(actual)
+        .map(|(&p, &a)| (p - a).powi(2))
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn nonlinear_data() -> Dataset {
+        // y = x0^2 + 10, noise-free; second feature irrelevant. The offset keeps
+        // every target away from zero so relative error stays meaningful.
+        let mut b = Dataset::builder(vec!["x".into(), "junk".into()]);
+        for i in 0..80 {
+            let x = i as f64 / 10.0;
+            b.push_row(vec![x, ((i * 7) % 13) as f64], x * x + 10.0)
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forest_fits_nonlinear_function() {
+        let d = nonlinear_data();
+        let f = RandomForestParams {
+            num_trees: 60,
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap();
+        let mre = crate::metrics::mean_relative_error(&f.predict(&d), d.targets());
+        // In-sample error should be small but need not be zero (bagging).
+        assert!(mre < 0.3, "forest MRE {mre} too high");
+    }
+
+    #[test]
+    fn forest_prediction_is_tree_mean() {
+        let d = nonlinear_data();
+        let f = RandomForestParams {
+            num_trees: 9,
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap();
+        let x = d.row(5);
+        let preds = f.tree_predictions(x);
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        assert!((f.predict_one(x) - mean).abs() < 1e-12);
+        assert_eq!(f.num_trees(), 9);
+    }
+
+    #[test]
+    fn prediction_stays_in_label_range() {
+        // Forest averages tree means, so predictions are convex combinations
+        // of training targets.
+        let d = nonlinear_data();
+        let f = RandomForestParams::default().fit(&d, &mut rng()).unwrap();
+        let (lo, hi) = d.target_range();
+        for probe in [-100.0, 0.0, 3.5, 1e6] {
+            let p = f.predict_one(&[probe, 0.0]);
+            assert!(
+                p >= lo - 1e-9 && p <= hi + 1e-9,
+                "prediction {p} escapes [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn oob_is_reported_with_bootstrap() {
+        let d = nonlinear_data();
+        let f = RandomForestParams {
+            num_trees: 30,
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap();
+        let oob = f.oob_mse().expect("bootstrap forests report OOB");
+        assert!(oob.is_finite() && oob >= 0.0);
+    }
+
+    #[test]
+    fn no_bootstrap_has_no_oob() {
+        let d = nonlinear_data();
+        let f = RandomForestParams {
+            bootstrap: false,
+            num_trees: 5,
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap();
+        assert_eq!(f.oob_mse(), None);
+    }
+
+    #[test]
+    fn permutation_importance_finds_relevant_feature() {
+        let d = nonlinear_data();
+        let f = RandomForestParams {
+            num_trees: 40,
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap();
+        let imp = f.permutation_importance(&d, &mut rng());
+        assert!(
+            imp[0] > imp[1].max(0.0) * 5.0 + 1e-9,
+            "x importance {} should dominate junk importance {}",
+            imp[0],
+            imp[1]
+        );
+    }
+
+    #[test]
+    fn zero_trees_rejected() {
+        let d = nonlinear_data();
+        let err = RandomForestParams {
+            num_trees: 0,
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap_err();
+        assert!(matches!(err, MlError::InvalidHyperParameter { .. }));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = nonlinear_data();
+        let p = RandomForestParams {
+            num_trees: 10,
+            ..Default::default()
+        };
+        let f1 = p.fit(&d, &mut StdRng::seed_from_u64(5)).unwrap();
+        let f2 = p.fit(&d, &mut StdRng::seed_from_u64(5)).unwrap();
+        for i in 0..d.len() {
+            assert_eq!(f1.predict_one(d.row(i)), f2.predict_one(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_off_distribution() {
+        let d = nonlinear_data();
+        let f = RandomForestParams {
+            num_trees: 50,
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap();
+        let std_in = f.prediction_std(&[4.0, 1.0]);
+        assert!(std_in.is_finite() && std_in >= 0.0);
+    }
+}

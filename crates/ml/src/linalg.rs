@@ -1,0 +1,179 @@
+//! Minimal dense linear algebra for the linear estimators.
+//!
+//! Only what ridge regression needs: symmetric positive-definite solves via
+//! Cholesky factorization. Matrices are tiny (≤ a few hundred columns), so a
+//! straightforward `Vec<f64>`-backed implementation is plenty.
+
+use crate::MlError;
+
+/// Solves `A x = b` for symmetric positive-definite `A` (row-major, `n × n`)
+/// via Cholesky factorization.
+///
+/// # Errors
+///
+/// Returns [`MlError::SingularSystem`] if `A` is not positive definite.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn solve_spd(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>, MlError> {
+    assert_eq!(a.len(), n * n, "A must be n x n");
+    assert_eq!(b.len(), n, "b must have n entries");
+
+    // Cholesky: A = L Lᵀ, L lower-triangular (stored row-major).
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                // Relative tolerance: exactly collinear columns can leave a
+                // tiny positive residual pivot from rounding; treat it as
+                // singular rather than amplifying noise.
+                let tol = 1e-10 * a[i * n + i].abs().max(1.0);
+                if sum <= tol || !sum.is_finite() {
+                    return Err(MlError::SingularSystem);
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+
+    // Forward substitution: L z = b.
+    let mut z = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * z[k];
+        }
+        z[i] = sum / l[i * n + i];
+    }
+
+    // Back substitution: Lᵀ x = z.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Computes `XᵀX + λI` and `Xᵀy` for a row-major `n × d` matrix `X` — the
+/// normal equations of ridge regression.
+pub fn normal_equations(
+    x: &[f64],
+    y: &[f64],
+    n: usize,
+    d: usize,
+    lambda: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(x.len(), n * d);
+    assert_eq!(y.len(), n);
+    let mut xtx = vec![0.0f64; d * d];
+    let mut xty = vec![0.0f64; d];
+    for r in 0..n {
+        let row = &x[r * d..(r + 1) * d];
+        for i in 0..d {
+            xty[i] += row[i] * y[r];
+            for j in i..d {
+                xtx[i * d + j] += row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle and add the ridge.
+    for i in 0..d {
+        for j in 0..i {
+            xtx[i * d + j] = xtx[j * d + i];
+        }
+        xtx[i * d + i] += lambda;
+    }
+    (xtx, xty)
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, 4.0];
+        let x = solve_spd(&a, &b, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![10.0, 9.0];
+        let x = solve_spd(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-10, "{x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-10, "{x:?}");
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = vec![0.0, 0.0, 0.0, 0.0];
+        assert_eq!(
+            solve_spd(&a, &[1.0, 1.0], 2).unwrap_err(),
+            MlError::SingularSystem
+        );
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3 and -1
+        assert_eq!(
+            solve_spd(&a, &[1.0, 1.0], 2).unwrap_err(),
+            MlError::SingularSystem
+        );
+    }
+
+    #[test]
+    fn normal_equations_match_manual() {
+        // X = [[1,2],[3,4]], y = [5, 6]
+        let (xtx, xty) = normal_equations(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0], 2, 2, 0.5);
+        assert_eq!(xtx, vec![10.0 + 0.5, 14.0, 14.0, 20.0 + 0.5]);
+        assert_eq!(xty, vec![23.0, 34.0]);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn ridge_solve_recovers_coefficients() {
+        // y = 2 x0 - x1 over a well-conditioned design, tiny lambda.
+        let n = 50;
+        let d = 2;
+        let mut x = Vec::with_capacity(n * d);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (i % 7) as f64;
+            let b = (i % 11) as f64;
+            x.extend_from_slice(&[a, b]);
+            y.push(2.0 * a - b);
+        }
+        let (xtx, xty) = normal_equations(&x, &y, n, d, 1e-9);
+        let w = solve_spd(&xtx, &xty, d).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6, "{w:?}");
+        assert!((w[1] + 1.0).abs() < 1e-6, "{w:?}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Ridge (L2-regularized linear) regression.
+//!
+//! Used both as a standalone baseline (Joseph et al. in Table 5 of the paper
+//! predict CPU performance with linear regression) and as the leaf model of
+//! the [`crate::model_tree`].
+
+use rand::RngCore;
+
+use crate::dataset::Dataset;
+use crate::linalg::{dot, normal_equations, solve_spd};
+use crate::scaler::Scaler;
+use crate::{Estimator, MlError, Regressor};
+
+/// Hyper-parameters of ridge regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeParams {
+    /// L2 regularization strength (on standardized features).
+    pub lambda: f64,
+}
+
+impl Default for RidgeParams {
+    fn default() -> Self {
+        RidgeParams { lambda: 1e-3 }
+    }
+}
+
+impl Estimator for RidgeParams {
+    type Model = Ridge;
+
+    fn fit(&self, data: &Dataset, _rng: &mut dyn RngCore) -> Result<Ridge, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if self.lambda.is_nan() || self.lambda < 0.0 {
+            return Err(MlError::InvalidHyperParameter {
+                what: "lambda must be >= 0",
+            });
+        }
+        Ridge::fit_with(data, self.lambda)
+    }
+
+    fn describe(&self) -> String {
+        format!("ridge(lambda={})", self.lambda)
+    }
+}
+
+/// A fitted ridge regression model over standardized features.
+///
+/// # Example
+///
+/// ```
+/// use napel_ml::dataset::Dataset;
+/// use napel_ml::linear::RidgeParams;
+/// use napel_ml::{Estimator, Regressor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut b = Dataset::builder(vec!["x".into()]);
+/// for i in 0..10 {
+///     b.push_row(vec![i as f64], 3.0 * i as f64 + 1.0)?;
+/// }
+/// let m = RidgeParams::default().fit(&b.build()?, &mut StdRng::seed_from_u64(0))?;
+/// assert!((m.predict_one(&[20.0]) - 61.0).abs() < 0.5);
+/// # Ok::<(), napel_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ridge {
+    scaler: Scaler,
+    /// Weights over standardized features, plus intercept as last element.
+    weights: Vec<f64>,
+}
+
+impl Ridge {
+    /// Fits ridge regression with the given `lambda` on standardized
+    /// features (intercept unpenalized via target centering).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::SingularSystem`] when `lambda == 0` and the design
+    /// is rank-deficient, or [`MlError::EmptyDataset`].
+    pub fn fit_with(data: &Dataset, lambda: f64) -> Result<Ridge, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let scaler = Scaler::fit(data);
+        let n = data.len();
+        let d = data.num_features();
+        let mut x = Vec::with_capacity(n * d);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            x.extend_from_slice(&scaler.transform_features(data.row(i)));
+            y.push(scaler.transform_target(data.target(i)));
+        }
+        // Guard rank deficiency with a tiny implicit ridge even at lambda=0?
+        // No: honor lambda exactly; callers get SingularSystem and can retry.
+        let (xtx, xty) = normal_equations(&x, &y, n, d, lambda.max(0.0));
+        let w = solve_spd(&xtx, &xty, d)?;
+        let mut weights = w;
+        weights.push(0.0); // standardized-target intercept is 0 by centering
+        Ok(Ridge { scaler, weights })
+    }
+
+    /// The learned weights over standardized features (without intercept).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights[..self.weights.len() - 1]
+    }
+}
+
+impl Regressor for Ridge {
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        let z = self.scaler.transform_features(x);
+        let d = z.len();
+        let pred_std = dot(&z, &self.weights[..d]) + self.weights[d];
+        self.scaler.inverse_target(pred_std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let mut b = Dataset::builder(vec!["a".into(), "b".into()]);
+        for i in 0..30 {
+            let a = (i % 6) as f64;
+            let c = (i % 5) as f64;
+            b.push_row(vec![a, c], 2.0 * a - 3.0 * c + 10.0).unwrap();
+        }
+        let d = b.build().unwrap();
+        let m = RidgeParams { lambda: 1e-9 }
+            .fit(&d, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        for i in 0..d.len() {
+            assert!((m.predict_one(d.row(i)) - d.target(i)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn heavier_lambda_shrinks_weights() {
+        let mut b = Dataset::builder(vec!["x".into()]);
+        for i in 0..20 {
+            b.push_row(vec![i as f64], 5.0 * i as f64).unwrap();
+        }
+        let d = b.build().unwrap();
+        let light = Ridge::fit_with(&d, 1e-6).unwrap();
+        let heavy = Ridge::fit_with(&d, 100.0).unwrap();
+        assert!(heavy.weights()[0].abs() < light.weights()[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_need_regularization() {
+        let mut b = Dataset::builder(vec!["x".into(), "x_copy".into()]);
+        for i in 0..10 {
+            let x = i as f64;
+            b.push_row(vec![x, x], x).unwrap();
+        }
+        let d = b.build().unwrap();
+        assert_eq!(
+            Ridge::fit_with(&d, 0.0).unwrap_err(),
+            MlError::SingularSystem
+        );
+        assert!(Ridge::fit_with(&d, 1e-3).is_ok());
+    }
+
+    #[test]
+    fn negative_lambda_rejected() {
+        let mut b = Dataset::builder(vec!["x".into()]);
+        b.push_row(vec![1.0], 1.0).unwrap();
+        b.push_row(vec![2.0], 2.0).unwrap();
+        let d = b.build().unwrap();
+        let err = RidgeParams { lambda: -1.0 }
+            .fit(&d, &mut StdRng::seed_from_u64(0))
+            .unwrap_err();
+        assert!(matches!(err, MlError::InvalidHyperParameter { .. }));
+    }
+
+    #[test]
+    fn linear_model_cannot_capture_nonlinearity() {
+        // This is the paper's core argument against linear models (Fig. 5).
+        let mut b = Dataset::builder(vec!["x".into()]);
+        for i in 0..40 {
+            let x = i as f64 - 20.0;
+            b.push_row(vec![x], x * x).unwrap();
+        }
+        let d = b.build().unwrap();
+        let m = RidgeParams::default()
+            .fit(&d, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let rmse = crate::metrics::root_mean_squared_error(&m.predict(&d), d.targets());
+        assert!(rmse > 50.0, "a line cannot fit a parabola (rmse={rmse})");
+    }
+}

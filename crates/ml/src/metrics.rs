@@ -1,0 +1,147 @@
+//! Regression accuracy metrics.
+//!
+//! The paper evaluates NAPEL with the *mean relative error* of Equation 1:
+//! `MRE = (1/N) Σ |y'ᵢ − yᵢ| / yᵢ`. [`mean_relative_error`] implements it
+//! with a tiny denominator floor so zero-valued targets cannot produce
+//! infinities.
+
+/// Mean relative error (Equation 1 of the paper), as a fraction (0.085 =
+/// 8.5 %).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_relative_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction/actual length mismatch"
+    );
+    assert!(!actual.is_empty(), "MRE of empty slice");
+    let n = actual.len() as f64;
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (p - a).abs() / a.abs().max(1e-12))
+        .sum::<f64>()
+        / n
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_absolute_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction/actual length mismatch"
+    );
+    assert!(!actual.is_empty(), "MAE of empty slice");
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (p - a).abs())
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn root_mean_squared_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction/actual length mismatch"
+    );
+    assert!(!actual.is_empty(), "RMSE of empty slice");
+    (predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (p - a).powi(2))
+        .sum::<f64>()
+        / actual.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination R². Returns 0 when the actuals are constant
+/// and predictions match them exactly; can be negative for models worse than
+/// predicting the mean.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction/actual length mismatch"
+    );
+    assert!(!actual.is_empty(), "R^2 of empty slice");
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|&a| (a - mean).powi(2)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (a - p).powi(2))
+        .sum();
+    if ss_tot <= f64::EPSILON {
+        return if ss_res <= f64::EPSILON {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        let y = [1.0, 2.0, 4.0];
+        assert_eq!(mean_relative_error(&y, &y), 0.0);
+        assert_eq!(mean_absolute_error(&y, &y), 0.0);
+        assert_eq!(root_mean_squared_error(&y, &y), 0.0);
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mre_matches_equation_one() {
+        // |1.1-1|/1 = 0.1, |1.8-2|/2 = 0.1 -> mean 0.1
+        let mre = mean_relative_error(&[1.1, 1.8], &[1.0, 2.0]);
+        assert!((mre - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mre_survives_zero_actual() {
+        let mre = mean_relative_error(&[0.5], &[0.0]);
+        assert!(mre.is_finite());
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let p = [0.0, 0.0, 10.0];
+        let a = [0.0, 0.0, 0.0];
+        assert!(root_mean_squared_error(&p, &a) > mean_absolute_error(&p, &a));
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r_squared(&p, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mean_relative_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,418 @@
+//! Multilayer perceptron regressor — the ANN baseline of Figure 5.
+//!
+//! Ipek et al. (ASPLOS 2006) predict CPU performance with a fully-connected
+//! feed-forward network; the paper compares NAPEL against that approach and
+//! finds the ANN needs "a much larger training dataset to reach NAPEL's
+//! accuracy" and up to 5× more training time. The implementation here is a
+//! classic tanh MLP trained with mini-batch SGD + momentum on standardized
+//! features and targets.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::dataset::Dataset;
+use crate::scaler::Scaler;
+use crate::{Estimator, MlError, Regressor};
+
+/// Hyper-parameters of the MLP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpParams {
+    /// Hidden layer widths, e.g. `[16, 16]`.
+    pub hidden: Vec<usize>,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams {
+            hidden: vec![16, 16],
+            learning_rate: 0.01,
+            momentum: 0.9,
+            epochs: 400,
+            batch_size: 8,
+            weight_decay: 1e-4,
+        }
+    }
+}
+
+impl Estimator for MlpParams {
+    type Model = Mlp;
+
+    fn fit(&self, data: &Dataset, rng: &mut dyn RngCore) -> Result<Mlp, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if self.hidden.contains(&0) {
+            return Err(MlError::InvalidHyperParameter {
+                what: "hidden layer of width 0",
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(MlError::InvalidHyperParameter {
+                what: "batch_size must be >= 1",
+            });
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(MlError::InvalidHyperParameter {
+                what: "learning_rate must be positive",
+            });
+        }
+
+        let scaler = Scaler::fit(data);
+        let d = data.num_features();
+        let mut sizes = Vec::with_capacity(self.hidden.len() + 2);
+        sizes.push(d);
+        sizes.extend_from_slice(&self.hidden);
+        sizes.push(1);
+
+        let mut net = Network::init(&sizes, rng);
+        let mut velocity = net.zeros_like();
+
+        // Standardize once.
+        let n = data.len();
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| scaler.transform_features(data.row(i)))
+            .collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| scaler.transform_target(data.target(i)))
+            .collect();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..self.epochs {
+            // Fisher-Yates shuffle with the trait-object RNG.
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for batch in order.chunks(self.batch_size) {
+                let mut grads = net.zeros_like();
+                for &i in batch {
+                    net.accumulate_gradient(&xs[i], ys[i], &mut grads);
+                }
+                let scale = 1.0 / batch.len() as f64;
+                for l in 0..net.layers.len() {
+                    for (w, (g, v)) in net.layers[l].w.iter_mut().zip(
+                        grads.layers[l]
+                            .w
+                            .iter()
+                            .zip(velocity.layers[l].w.iter_mut()),
+                    ) {
+                        *v = self.momentum * *v
+                            - self.learning_rate * (g * scale + self.weight_decay * *w);
+                        *w += *v;
+                    }
+                    for (b, (g, v)) in net.layers[l].b.iter_mut().zip(
+                        grads.layers[l]
+                            .b
+                            .iter()
+                            .zip(velocity.layers[l].b.iter_mut()),
+                    ) {
+                        *v = self.momentum * *v - self.learning_rate * g * scale;
+                        *b += *v;
+                    }
+                }
+            }
+        }
+        Ok(Mlp { scaler, net })
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "mlp(hidden={:?}, lr={}, epochs={}, batch={})",
+            self.hidden, self.learning_rate, self.epochs, self.batch_size
+        )
+    }
+}
+
+/// One dense layer's parameters (row-major `out × in` weights).
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<f64>,
+    b: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    fn init(sizes: &[usize], rng: &mut dyn RngCore) -> Network {
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for win in sizes.windows(2) {
+            let (cols, rows) = (win[0], win[1]);
+            // Xavier/Glorot uniform initialization.
+            let limit = (6.0 / (rows + cols) as f64).sqrt();
+            let w = (0..rows * cols)
+                .map(|_| rng.gen_range(-limit..limit))
+                .collect();
+            layers.push(Layer {
+                w,
+                b: vec![0.0; rows],
+                rows,
+                cols,
+            });
+        }
+        Network { layers }
+    }
+
+    fn zeros_like(&self) -> Network {
+        Network {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| Layer {
+                    w: vec![0.0; l.w.len()],
+                    b: vec![0.0; l.b.len()],
+                    rows: l.rows,
+                    cols: l.cols,
+                })
+                .collect(),
+        }
+    }
+
+    /// Forward pass; returns per-layer activations (including the input).
+    fn forward(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let input = &acts[li];
+            let last = li == self.layers.len() - 1;
+            let mut out = Vec::with_capacity(layer.rows);
+            for r in 0..layer.rows {
+                let mut z = layer.b[r];
+                let row = &layer.w[r * layer.cols..(r + 1) * layer.cols];
+                for (wi, xi) in row.iter().zip(input) {
+                    z += wi * xi;
+                }
+                out.push(if last { z } else { z.tanh() });
+            }
+            acts.push(out);
+        }
+        acts
+    }
+
+    /// Backprop of squared error 0.5 (ŷ − y)² into `grads`.
+    fn accumulate_gradient(&self, x: &[f64], y: f64, grads: &mut Network) {
+        let acts = self.forward(x);
+        let num_layers = self.layers.len();
+        // Output delta (linear output).
+        let mut delta = vec![acts[num_layers][0] - y];
+        for li in (0..num_layers).rev() {
+            let layer = &self.layers[li];
+            let input = &acts[li];
+            let g = &mut grads.layers[li];
+            for (r, &d) in delta.iter().enumerate().take(layer.rows) {
+                g.b[r] += d;
+                let grow = &mut g.w[r * layer.cols..(r + 1) * layer.cols];
+                for (gw, xi) in grow.iter_mut().zip(input) {
+                    *gw += d * xi;
+                }
+            }
+            if li > 0 {
+                // delta_prev = (Wᵀ delta) ⊙ tanh'(a_prev)
+                let mut prev = vec![0.0; layer.cols];
+                for (r, &d) in delta.iter().enumerate().take(layer.rows) {
+                    let row = &layer.w[r * layer.cols..(r + 1) * layer.cols];
+                    for (p, wi) in prev.iter_mut().zip(row) {
+                        *p += wi * d;
+                    }
+                }
+                for (p, a) in prev.iter_mut().zip(&acts[li]) {
+                    *p *= 1.0 - a * a; // derivative of tanh at the activation
+                }
+                delta = prev;
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let acts = self.forward(x);
+        acts[self.layers.len()][0]
+    }
+}
+
+/// A fitted MLP regressor.
+///
+/// # Example
+///
+/// ```
+/// use napel_ml::dataset::Dataset;
+/// use napel_ml::mlp::MlpParams;
+/// use napel_ml::{Estimator, Regressor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut b = Dataset::builder(vec!["x".into()]);
+/// for i in 0..32 {
+///     let x = i as f64 / 4.0;
+///     b.push_row(vec![x], 2.0 * x + 1.0)?;
+/// }
+/// let params = MlpParams { epochs: 200, ..Default::default() };
+/// let m = params.fit(&b.build()?, &mut StdRng::seed_from_u64(3))?;
+/// assert!((m.predict_one(&[4.0]) - 9.0).abs() < 1.0);
+/// # Ok::<(), napel_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    scaler: Scaler,
+    net: Network,
+}
+
+impl Mlp {
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.net.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+}
+
+impl Regressor for Mlp {
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        let z = self.scaler.transform_features(x);
+        self.scaler.inverse_target(self.net.predict(&z))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let mut b = Dataset::builder(vec!["x".into()]);
+        for i in 0..40 {
+            let x = i as f64 / 4.0;
+            b.push_row(vec![x], 3.0 * x - 2.0).unwrap();
+        }
+        let d = b.build().unwrap();
+        let m = MlpParams {
+            epochs: 300,
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap();
+        let mre = crate::metrics::mean_absolute_error(&m.predict(&d), d.targets());
+        assert!(mre < 0.8, "MLP MAE {mre} too high on linear data");
+    }
+
+    #[test]
+    fn learns_mild_nonlinearity() {
+        let mut b = Dataset::builder(vec!["x".into()]);
+        for i in 0..60 {
+            let x = i as f64 / 10.0 - 3.0;
+            b.push_row(vec![x], x * x).unwrap();
+        }
+        let d = b.build().unwrap();
+        let m = MlpParams {
+            epochs: 800,
+            hidden: vec![16],
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap();
+        let rmse = crate::metrics::root_mean_squared_error(&m.predict(&d), d.targets());
+        assert!(rmse < 1.5, "MLP should approximate x^2, rmse={rmse}");
+    }
+
+    #[test]
+    fn gradient_check_single_layer() {
+        // Numeric gradient check on a tiny network.
+        let mut r = rng();
+        let net = Network::init(&[2, 3, 1], &mut r);
+        let x = [0.3, -0.7];
+        let y = 0.5;
+        let mut grads = net.zeros_like();
+        net.accumulate_gradient(&x, y, &mut grads);
+
+        let eps = 1e-6;
+        let loss = |n: &Network| 0.5 * (n.predict(&x) - y).powi(2);
+        for l in 0..net.layers.len() {
+            for wi in 0..net.layers[l].w.len() {
+                let mut plus = net.clone();
+                plus.layers[l].w[wi] += eps;
+                let mut minus = net.clone();
+                minus.layers[l].w[wi] -= eps;
+                let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                let analytic = grads.layers[l].w[wi];
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "layer {l} w[{wi}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut b = Dataset::builder(vec!["x".into()]);
+        b.push_row(vec![1.0], 1.0).unwrap();
+        let d = b.build().unwrap();
+        for params in [
+            MlpParams {
+                hidden: vec![0],
+                ..Default::default()
+            },
+            MlpParams {
+                batch_size: 0,
+                ..Default::default()
+            },
+            MlpParams {
+                learning_rate: 0.0,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                params.fit(&d, &mut rng()).unwrap_err(),
+                MlError::InvalidHyperParameter { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b = Dataset::builder(vec!["x".into()]);
+        for i in 0..10 {
+            b.push_row(vec![i as f64], i as f64).unwrap();
+        }
+        let d = b.build().unwrap();
+        let p = MlpParams {
+            epochs: 50,
+            ..Default::default()
+        };
+        let m1 = p.fit(&d, &mut StdRng::seed_from_u64(1)).unwrap();
+        let m2 = p.fit(&d, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(m1.predict_one(&[3.0]), m2.predict_one(&[3.0]));
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut b = Dataset::builder(vec!["a".into(), "b".into()]);
+        b.push_row(vec![0.0, 0.0], 0.0).unwrap();
+        b.push_row(vec![1.0, 1.0], 1.0).unwrap();
+        let d = b.build().unwrap();
+        let m = MlpParams {
+            hidden: vec![4],
+            epochs: 1,
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap();
+        // (2*4 + 4) + (4*1 + 1) = 17
+        assert_eq!(m.num_parameters(), 17);
+    }
+}

@@ -1,0 +1,112 @@
+//! Feature/target standardization for scale-sensitive estimators (the MLP
+//! and ridge regression).
+
+use crate::dataset::Dataset;
+
+/// Z-score standardizer fitted on a dataset's features (and optionally its
+/// target), applied at prediction time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaler {
+    feature_moments: Vec<(f64, f64)>,
+    target_mean: f64,
+    target_std: f64,
+}
+
+impl Scaler {
+    /// Fits the scaler to `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit scaler to empty dataset");
+        let n = data.len() as f64;
+        let tm = data.target_mean();
+        let tv = data
+            .targets()
+            .iter()
+            .map(|&y| (y - tm).powi(2))
+            .sum::<f64>()
+            / n;
+        Scaler {
+            feature_moments: data.feature_moments(),
+            target_mean: tm,
+            target_std: tv.sqrt().max(1e-12),
+        }
+    }
+
+    /// Number of features the scaler was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.feature_moments.len()
+    }
+
+    /// Standardizes one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted feature count.
+    pub fn transform_features(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            x.len(),
+            self.feature_moments.len(),
+            "feature count mismatch"
+        );
+        x.iter()
+            .zip(&self.feature_moments)
+            .map(|(&v, &(mean, std))| (v - mean) / std)
+            .collect()
+    }
+
+    /// Standardizes a target value.
+    pub fn transform_target(&self, y: f64) -> f64 {
+        (y - self.target_mean) / self.target_std
+    }
+
+    /// Inverts [`Scaler::transform_target`].
+    pub fn inverse_target(&self, z: f64) -> f64 {
+        z * self.target_std + self.target_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let mut b = Dataset::builder(vec!["a".into(), "b".into()]);
+        b.push_row(vec![0.0, 100.0], 10.0).unwrap();
+        b.push_row(vec![2.0, 300.0], 30.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn standardized_features_have_unit_scale() {
+        let d = data();
+        let s = Scaler::fit(&d);
+        let z0 = s.transform_features(d.row(0));
+        let z1 = s.transform_features(d.row(1));
+        for j in 0..2 {
+            assert!((z0[j] + 1.0).abs() < 1e-9, "{z0:?}");
+            assert!((z1[j] - 1.0).abs() < 1e-9, "{z1:?}");
+        }
+    }
+
+    #[test]
+    fn target_roundtrip() {
+        let s = Scaler::fit(&data());
+        for y in [10.0, 20.0, 30.0, -5.0] {
+            let z = s.transform_target(y);
+            assert!((s.inverse_target(z) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_divide_by_zero() {
+        let mut b = Dataset::builder(vec!["c".into()]);
+        b.push_row(vec![5.0], 1.0).unwrap();
+        b.push_row(vec![5.0], 2.0).unwrap();
+        let s = Scaler::fit(&b.build().unwrap());
+        let z = s.transform_features(&[5.0]);
+        assert!(z[0].is_finite());
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-event energy model.
+//!
+//! The paper's second RF model predicts energy; its labels come from the
+//! simulator's energy accounting. We use an event-based model with
+//! HMC-class constants: each architectural event (ALU op, cache access, row
+//! activation, burst, ...) contributes a fixed energy, plus static power
+//! integrated over the run time. Constants are from published HMC/logic
+//! estimates (≈3.7 pJ/bit DRAM access, sub-nJ row activation, tens of pJ
+//! per in-order-core operation) — absolute joules are approximate by
+//! design; EDP *shapes* are what the experiments rely on.
+
+use napel_ir::Opcode;
+
+/// Energy constants in picojoules per event, plus static power in watts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per integer ALU operation.
+    pub int_op_pj: f64,
+    /// Energy per integer multiply/divide.
+    pub int_mul_pj: f64,
+    /// Energy per floating-point add.
+    pub fp_add_pj: f64,
+    /// Energy per floating-point multiply.
+    pub fp_mul_pj: f64,
+    /// Energy per floating-point divide.
+    pub fp_div_pj: f64,
+    /// Energy per branch/move/other operation.
+    pub misc_op_pj: f64,
+    /// Energy per L1 access (hit or miss tag probe).
+    pub cache_access_pj: f64,
+    /// Energy per L1 line fill.
+    pub cache_fill_pj: f64,
+    /// Energy per DRAM row activation (includes precharge).
+    pub dram_activate_pj: f64,
+    /// Energy per 64-byte DRAM read burst.
+    pub dram_read_pj: f64,
+    /// Energy per 64-byte DRAM write burst.
+    pub dram_write_pj: f64,
+    /// Static power of one PE (leakage + clock), watts.
+    pub pe_static_w: f64,
+    /// Background power of the whole DRAM stack, watts.
+    pub dram_static_w: f64,
+}
+
+impl EnergyModel {
+    /// HMC-class defaults (see module docs).
+    pub fn hmc_default() -> Self {
+        EnergyModel {
+            int_op_pj: 8.0,
+            int_mul_pj: 25.0,
+            fp_add_pj: 20.0,
+            fp_mul_pj: 30.0,
+            fp_div_pj: 90.0,
+            misc_op_pj: 4.0,
+            cache_access_pj: 6.0,
+            cache_fill_pj: 15.0,
+            dram_activate_pj: 900.0,
+            dram_read_pj: 1900.0,
+            dram_write_pj: 2100.0,
+            pe_static_w: 0.020,
+            dram_static_w: 0.6,
+        }
+    }
+
+    /// Energy of one executed instruction's compute portion.
+    #[inline]
+    pub fn op_energy_pj(&self, op: Opcode) -> f64 {
+        match op {
+            Opcode::IntAlu | Opcode::AddrCalc => self.int_op_pj,
+            Opcode::IntMul | Opcode::IntDiv => self.int_mul_pj,
+            Opcode::FpAdd => self.fp_add_pj,
+            Opcode::FpMul => self.fp_mul_pj,
+            Opcode::FpDiv => self.fp_div_pj,
+            // Loads/stores pay the cache/DRAM costs separately; the core
+            // still spends AGU/issue energy.
+            Opcode::Load | Opcode::Store => self.int_op_pj,
+            Opcode::Branch | Opcode::Mov | Opcode::Other => self.misc_op_pj,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::hmc_default()
+    }
+}
+
+/// Accumulated energy, split by component, in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core dynamic energy (ALUs, issue).
+    pub pe_dynamic_pj: f64,
+    /// L1 cache energy.
+    pub cache_pj: f64,
+    /// DRAM dynamic energy.
+    pub dram_dynamic_pj: f64,
+    /// Static/background energy.
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.pe_dynamic_pj + self.cache_pj + self.dram_dynamic_pj + self.static_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_energies_are_ordered_sensibly() {
+        let m = EnergyModel::hmc_default();
+        assert!(m.op_energy_pj(Opcode::FpDiv) > m.op_energy_pj(Opcode::FpMul));
+        assert!(m.op_energy_pj(Opcode::FpMul) > m.op_energy_pj(Opcode::IntAlu));
+        assert!(m.op_energy_pj(Opcode::Branch) < m.op_energy_pj(Opcode::IntAlu));
+    }
+
+    #[test]
+    fn dram_events_dominate_core_events() {
+        // The data-movement argument of the paper: a DRAM access costs two
+        // to three orders of magnitude more than an ALU op.
+        let m = EnergyModel::hmc_default();
+        assert!(m.dram_read_pj > 50.0 * m.op_energy_pj(Opcode::FpMul));
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = EnergyBreakdown {
+            pe_dynamic_pj: 1.0,
+            cache_pj: 2.0,
+            dram_dynamic_pj: 3.0,
+            static_pj: 4.0,
+        };
+        assert_eq!(b.total_pj(), 10.0);
+        assert!((b.total_joules() - 10e-12).abs() < 1e-24);
+    }
+}

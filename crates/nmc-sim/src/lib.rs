@@ -1,0 +1,59 @@
+//! Trace-driven cycle-level near-memory-computing simulator.
+//!
+//! This is the reproduction's stand-in for Ramulator extended with the
+//! `ramulator-pim` 3D-stacked model (Section 3.1 of the NAPEL paper). It
+//! simulates the Table 3 NMC system: single-issue in-order processing
+//! elements embedded in the logic layer of an HMC-like stacked memory —
+//! 32 vaults × 8 DRAM layers, 256 B row buffer, closed-row policy, tiny
+//! 2-way private L1 caches of two 64 B lines — and reports cycles, IPC,
+//! energy, and event breakdowns for a kernel's dynamic instruction trace.
+//!
+//! The paper uses the simulator as a black-box oracle: DoE-selected kernel
+//! runs are simulated to label NAPEL's training set with `IPC(k, d, a)` and
+//! energy. Everything NAPEL learns, it learns from this crate's
+//! [`SimReport`]s.
+//!
+//! # Organization
+//!
+//! - [`ArchConfig`] — the architectural design configuration `a`, including
+//!   the Table 1 architectural feature encoding for the ML model,
+//! - [`cache`] — set-associative write-back/write-allocate LRU caches,
+//! - [`dram`] — per-vault bank timing (closed- or open-row) and counters,
+//! - [`pe`] — the in-order single-issue core model,
+//! - [`NmcSystem`] — the full system: runs a [`napel_ir::MultiTrace`],
+//! - [`energy`] — the per-event energy model,
+//! - [`SimReport`] — results.
+//!
+//! # Example
+//!
+//! ```
+//! use napel_ir::{Emitter, MultiTrace};
+//! use nmc_sim::{ArchConfig, NmcSystem};
+//!
+//! let mut t = MultiTrace::new(2);
+//! for th in 0..2 {
+//!     let mut e = Emitter::new(t.thread_sink(th));
+//!     for i in 0..100u64 {
+//!         let x = e.load(0, (th as u64) * 0x10_0000 + 8 * i, 8);
+//!         let y = e.fmul(1, x, x);
+//!         e.store(2, (th as u64) * 0x20_0000 + 8 * i, 8, y);
+//!     }
+//! }
+//! let report = NmcSystem::new(ArchConfig::paper_default()).run(&t);
+//! assert_eq!(report.instructions, 600);
+//! assert!(report.ipc() > 0.0 && report.energy_joules() > 0.0);
+//! ```
+
+pub mod cache;
+mod config;
+pub mod dram;
+pub mod energy;
+pub mod link;
+pub mod pe;
+mod report;
+mod system;
+
+pub use config::{ArchConfig, DramTiming, RowPolicy};
+pub use link::LinkConfig;
+pub use report::SimReport;
+pub use system::NmcSystem;

@@ -1,0 +1,122 @@
+//! Off-chip SerDes link model (Table 3: "16-bit full duplex high-speed
+//! serializer/deserializer (SerDes) I/O link @ 15 Gbps").
+//!
+//! The evaluation of the paper assumes kernel data is resident in the
+//! stacked memory, so the link never appears on the NMC critical path. It
+//! matters for the *offload decision* when data starts on the host side:
+//! shipping the working set through the link costs time and energy that
+//! eats into the NMC advantage. [`LinkConfig::transfer`] quantifies that,
+//! and the `ablation` experiments in `napel-core` use it for an
+//! offload-cost sensitivity study.
+
+/// SerDes link parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Lane width in bits.
+    pub lanes: u32,
+    /// Per-lane signaling rate, gigabits per second.
+    pub gbps_per_lane: f64,
+    /// Full duplex (transfers in both directions overlap).
+    pub full_duplex: bool,
+    /// Energy per bit moved across the link, picojoules (HMC-class SerDes
+    /// ≈ 2–4 pJ/bit).
+    pub energy_pj_per_bit: f64,
+}
+
+impl LinkConfig {
+    /// The Table 3 link: 16 lanes × 15 Gbps, full duplex, ~3 pJ/bit.
+    pub fn hmc_default() -> Self {
+        LinkConfig {
+            lanes: 16,
+            gbps_per_lane: 15.0,
+            full_duplex: true,
+            energy_pj_per_bit: 3.0,
+        }
+    }
+
+    /// Aggregate unidirectional bandwidth in bytes per second.
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        f64::from(self.lanes) * self.gbps_per_lane * 1e9 / 8.0
+    }
+
+    /// Cost of moving `to_nmc` bytes toward the memory and `to_host` bytes
+    /// back. Full-duplex links overlap the two directions.
+    pub fn transfer(&self, to_nmc: u64, to_host: u64) -> TransferCost {
+        let bw = self.bandwidth_bytes_per_sec();
+        let t_in = to_nmc as f64 / bw;
+        let t_out = to_host as f64 / bw;
+        let seconds = if self.full_duplex {
+            t_in.max(t_out)
+        } else {
+            t_in + t_out
+        };
+        let bits = (to_nmc + to_host) as f64 * 8.0;
+        TransferCost {
+            seconds,
+            joules: bits * self.energy_pj_per_bit * 1e-12,
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::hmc_default()
+    }
+}
+
+/// Time and energy of one link transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferCost {
+    /// Wall-clock transfer time, seconds.
+    pub seconds: f64,
+    /// Link energy, joules.
+    pub joules: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_bandwidth() {
+        let l = LinkConfig::hmc_default();
+        // 16 lanes x 15 Gbps = 240 Gbit/s = 30 GB/s each way.
+        assert!((l.bandwidth_bytes_per_sec() - 30e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_duplex_overlaps_directions() {
+        let l = LinkConfig::hmc_default();
+        let c = l.transfer(30_000_000_000, 15_000_000_000);
+        assert!(
+            (c.seconds - 1.0).abs() < 1e-9,
+            "bounded by the larger direction"
+        );
+        let half = LinkConfig {
+            full_duplex: false,
+            ..l
+        };
+        let c2 = half.transfer(30_000_000_000, 15_000_000_000);
+        assert!(
+            (c2.seconds - 1.5).abs() < 1e-9,
+            "half duplex sums directions"
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_bits() {
+        let l = LinkConfig::hmc_default();
+        let c = l.transfer(1_000_000, 0);
+        // 8 Mbit x 3 pJ/bit = 24 uJ.
+        assert!((c.joules - 24e-6).abs() < 1e-12);
+        let c2 = l.transfer(2_000_000, 0);
+        assert!((c2.joules / c.joules - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_transfer_is_free() {
+        let c = LinkConfig::hmc_default().transfer(0, 0);
+        assert_eq!(c.seconds, 0.0);
+        assert_eq!(c.joules, 0.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! The in-order processing-element model.
+//!
+//! Following the paper (Section 2.2) and its references, each NMC PE is a
+//! single-issue in-order core with a private L1 (the configuration also
+//! supports wider in-order issue for design-space exploration). The model
+//! is scoreboard-based: an instruction issues when an issue slot of the
+//! current cycle is free (in program order) and its source operands are
+//! ready (stall-on-use); loads are non-blocking until their value is
+//! consumed. Stores retire through a store buffer and do not stall the
+//! core, but their cache fills and write-backs occupy memory-side
+//! resources.
+
+use napel_ir::fxhash::FxHashMap;
+use napel_ir::{Inst, Opcode};
+
+use crate::cache::{Cache, CacheStats};
+use crate::config::ArchConfig;
+use crate::dram::DramModel;
+use crate::energy::EnergyModel;
+
+/// Execution latencies in cycles for compute opcodes.
+#[inline]
+fn exec_latency(op: Opcode) -> u64 {
+    match op {
+        Opcode::IntAlu | Opcode::AddrCalc | Opcode::Mov | Opcode::Branch | Opcode::Other => 1,
+        Opcode::IntMul => 3,
+        Opcode::IntDiv => 12,
+        Opcode::FpAdd => 3,
+        Opcode::FpMul => 4,
+        Opcode::FpDiv => 16,
+        // Memory latency is computed by the cache/DRAM path.
+        Opcode::Load | Opcode::Store => 1,
+    }
+}
+
+/// One processing element's state.
+#[derive(Debug)]
+pub struct ProcessingElement {
+    dcache: Cache,
+    icache: Cache,
+    reg_ready: FxHashMap<u32, u64>,
+    /// Earliest cycle the next instruction can issue.
+    cycle: u64,
+    /// Instructions issued in `cycle` so far (in-order multi-issue).
+    slots_used: usize,
+    issue_width: usize,
+    /// Latest completion time of any instruction.
+    last_completion: u64,
+    instructions: u64,
+    ifetch_misses: u64,
+    compute_energy_pj: f64,
+    /// Fixed latency of an instruction fetch miss (served from the logic
+    /// layer's code store, not the DRAM banks).
+    ifetch_miss_latency: u64,
+    hit_latency: u64,
+    xbar_latency: u64,
+    line_mask: u64,
+}
+
+impl ProcessingElement {
+    /// Creates a PE for the given configuration.
+    pub fn new(cfg: &ArchConfig) -> Self {
+        let t = cfg.timing;
+        ProcessingElement {
+            dcache: Cache::new(cfg.cache_lines, cfg.cache_line_bytes, cfg.cache_assoc),
+            icache: Cache::new(cfg.cache_lines, cfg.cache_line_bytes, cfg.cache_assoc),
+            reg_ready: FxHashMap::default(),
+            cycle: 0,
+            slots_used: 0,
+            issue_width: cfg.issue_width.max(1),
+            last_completion: 0,
+            instructions: 0,
+            ifetch_misses: 0,
+            compute_energy_pj: 0.0,
+            ifetch_miss_latency: t.t_cl + t.t_bl,
+            hit_latency: cfg.cache_hit_latency,
+            xbar_latency: cfg.xbar_latency,
+            line_mask: !(cfg.cache_line_bytes - 1),
+        }
+    }
+
+    /// Earliest cycle the next instruction can issue.
+    pub fn now(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Executes one instruction against the shared DRAM, advancing local
+    /// time. Returns the instruction's completion cycle.
+    pub fn step(&mut self, inst: &Inst, dram: &mut DramModel, energy: &EnergyModel) -> u64 {
+        // Instruction fetch.
+        let fetch = self.icache.access(u64::from(inst.pc) * 4, false);
+        let fetch_extra = if fetch.hit {
+            0
+        } else {
+            self.ifetch_misses += 1;
+            self.ifetch_miss_latency
+        };
+
+        // Operand readiness.
+        let mut ready = 0u64;
+        for r in inst.src_regs() {
+            if let Some(&t) = self.reg_ready.get(&r.0) {
+                ready = ready.max(t);
+            }
+        }
+
+        // Find the issue cycle: program order + operand readiness + a free
+        // issue slot in that cycle.
+        let mut issue = self.cycle.max(ready) + fetch_extra;
+        if issue == self.cycle && self.slots_used >= self.issue_width {
+            issue += 1;
+        }
+        let completion = match inst.op {
+            Opcode::Load => {
+                let line = inst.addr & self.line_mask;
+                let acc = self.dcache.access(inst.addr, false);
+                if let Some(wb) = acc.writeback {
+                    // Dirty eviction: write-back occupies the bank but does
+                    // not stall the core.
+                    dram.access(wb, true, issue + self.xbar_latency);
+                }
+                if acc.hit {
+                    issue + self.hit_latency
+                } else {
+                    let data = dram.access(line, false, issue + self.xbar_latency);
+                    data + self.xbar_latency + self.hit_latency
+                }
+            }
+            Opcode::Store => {
+                let line = inst.addr & self.line_mask;
+                let acc = self.dcache.access(inst.addr, true);
+                if let Some(wb) = acc.writeback {
+                    dram.access(wb, true, issue + self.xbar_latency);
+                }
+                if !acc.hit {
+                    // Write-allocate: fetch the line; the store buffer hides
+                    // the latency from the core.
+                    dram.access(line, false, issue + self.xbar_latency);
+                }
+                issue + 1
+            }
+            op => issue + exec_latency(op),
+        };
+
+        if let Some(dst) = inst.dst_reg() {
+            self.reg_ready.insert(dst.0, completion);
+        }
+        self.compute_energy_pj += energy.op_energy_pj(inst.op);
+        self.instructions += 1;
+        if issue == self.cycle {
+            self.slots_used += 1;
+        } else {
+            self.cycle = issue;
+            self.slots_used = 1;
+        }
+        if self.slots_used >= self.issue_width {
+            self.cycle += 1;
+            self.slots_used = 0;
+        }
+        self.last_completion = self.last_completion.max(completion);
+        completion
+    }
+
+    /// Instructions executed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Completion cycle of the PE's last-finishing instruction.
+    pub fn finish_cycle(&self) -> u64 {
+        self.last_completion
+    }
+
+    /// Data-cache statistics.
+    pub fn dcache_stats(&self) -> CacheStats {
+        self.dcache.stats()
+    }
+
+    /// Instruction-cache statistics.
+    pub fn icache_stats(&self) -> CacheStats {
+        self.icache.stats()
+    }
+
+    /// Accumulated compute (non-memory) energy in picojoules.
+    pub fn compute_energy_pj(&self) -> f64 {
+        self.compute_energy_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_ir::{Emitter, Trace};
+
+    fn run(build: impl FnOnce(&mut Emitter<&mut Trace>)) -> (ProcessingElement, DramModel) {
+        let cfg = ArchConfig::paper_default();
+        let mut t = Trace::new();
+        let mut e = Emitter::new(&mut t);
+        build(&mut e);
+        drop(e);
+        let mut pe = ProcessingElement::new(&cfg);
+        let mut dram = DramModel::new(&cfg);
+        let energy = EnergyModel::hmc_default();
+        for i in t.iter() {
+            pe.step(i, &mut dram, &energy);
+        }
+        (pe, dram)
+    }
+
+    #[test]
+    fn compute_only_ipc_near_one() {
+        let (pe, _) = run(|e| {
+            // Independent single-cycle ops.
+            for _ in 0..1000 {
+                e.imm(0);
+            }
+        });
+        let ipc = pe.instructions() as f64 / pe.finish_cycle() as f64;
+        assert!(
+            ipc > 0.9,
+            "independent ALU stream should sustain ~1 IPC, got {ipc}"
+        );
+    }
+
+    #[test]
+    fn dependent_fp_chain_is_latency_bound() {
+        let (pe, _) = run(|e| {
+            let mut acc = e.imm(0);
+            for _ in 0..100 {
+                acc = e.fadd(1, acc, acc); // 3-cycle latency chain
+            }
+        });
+        let cycles = pe.finish_cycle();
+        assert!(
+            cycles >= 300,
+            "100 dependent 3-cycle adds need >= 300 cycles, got {cycles}"
+        );
+    }
+
+    #[test]
+    fn cache_miss_costs_dram_latency() {
+        let (pe, dram) = run(|e| {
+            let x = e.load(0, 0x1000, 8);
+            e.fadd(1, x, x); // consumes the load -> stalls on it
+        });
+        let t = ArchConfig::paper_default().timing;
+        assert!(
+            pe.finish_cycle() > t.t_rcd + t.t_cl + t.t_bl,
+            "miss must reach DRAM"
+        );
+        assert_eq!(dram.stats().reads, 1);
+        assert_eq!(pe.dcache_stats().misses(), 1);
+    }
+
+    #[test]
+    fn spatial_locality_hits_in_l1() {
+        let (pe, dram) = run(|e| {
+            for i in 0..8u64 {
+                e.load(0, 8 * i, 8); // one 64B line
+            }
+        });
+        assert_eq!(pe.dcache_stats().misses(), 1);
+        assert_eq!(pe.dcache_stats().hits, 7);
+        assert_eq!(dram.stats().reads, 1);
+    }
+
+    #[test]
+    fn stores_do_not_stall_the_core() {
+        let (pe, dram) = run(|e| {
+            let v = e.imm(0);
+            for i in 0..16u64 {
+                e.store(1, 4096 * i, 8, v); // all misses, different banks
+            }
+        });
+        // 17 instructions issuing 1 cycle apart despite misses, plus one
+        // cold instruction-fetch miss at the start.
+        let t = ArchConfig::paper_default().timing;
+        let ifetch_cold = t.t_cl + t.t_bl;
+        assert!(
+            pe.now() <= 18 + ifetch_cold,
+            "store misses must not stall issue, now={}",
+            pe.now()
+        );
+        assert_eq!(dram.stats().reads, 16, "write-allocate fetches each line");
+    }
+
+    #[test]
+    fn dirty_evictions_produce_dram_writes() {
+        let (_, dram) = run(|e| {
+            let v = e.imm(0);
+            // 3 distinct lines through a 2-line cache, all dirtied.
+            e.store(1, 0, 8, v);
+            e.store(2, 64, 8, v);
+            e.store(3, 128, 8, v); // evicts dirty line 0
+            e.store(4, 192, 8, v); // evicts dirty line 64
+        });
+        assert!(dram.stats().writes >= 2, "dirty evictions must write back");
+    }
+
+    #[test]
+    fn tiny_icache_tracks_loop_code() {
+        let (pe, _) = run(|e| {
+            for _ in 0..100 {
+                // 4 static pcs * 4 bytes = 16 bytes of code: one line.
+                let a = e.imm(0);
+                let b = e.imm(1);
+                e.fadd(2, a, b);
+                e.branch(3);
+            }
+        });
+        let s = pe.icache_stats();
+        assert_eq!(s.misses(), 1, "loop code fits one line after the cold miss");
+    }
+
+    #[test]
+    fn dual_issue_doubles_alu_throughput() {
+        let run_width = |width: usize| {
+            let cfg = ArchConfig {
+                issue_width: width,
+                ..ArchConfig::paper_default()
+            };
+            let mut t = Trace::new();
+            let mut e = Emitter::new(&mut t);
+            for _ in 0..1000 {
+                e.imm(0);
+            }
+            drop(e);
+            let mut pe = ProcessingElement::new(&cfg);
+            let mut dram = DramModel::new(&cfg);
+            let energy = EnergyModel::hmc_default();
+            for i in t.iter() {
+                pe.step(i, &mut dram, &energy);
+            }
+            pe.instructions() as f64 / pe.finish_cycle() as f64
+        };
+        let single = run_width(1);
+        let dual = run_width(2);
+        assert!(
+            dual > 1.8 * single,
+            "dual issue should nearly double ALU throughput: {dual} vs {single}"
+        );
+        assert!(dual <= 2.0 + 1e-9, "IPC cannot exceed the width");
+    }
+
+    #[test]
+    fn dependent_chain_gains_nothing_from_width() {
+        let run_width = |width: usize| {
+            let cfg = ArchConfig {
+                issue_width: width,
+                ..ArchConfig::paper_default()
+            };
+            let mut t = Trace::new();
+            let mut e = Emitter::new(&mut t);
+            let mut acc = e.imm(0);
+            for _ in 0..200 {
+                acc = e.fadd(1, acc, acc);
+            }
+            drop(e);
+            let mut pe = ProcessingElement::new(&cfg);
+            let mut dram = DramModel::new(&cfg);
+            let energy = EnergyModel::hmc_default();
+            for i in t.iter() {
+                pe.step(i, &mut dram, &energy);
+            }
+            pe.finish_cycle()
+        };
+        let single = run_width(1);
+        let quad = run_width(4);
+        assert!(
+            quad as f64 > single as f64 * 0.95,
+            "a serial chain is latency-bound regardless of width: {quad} vs {single}"
+        );
+    }
+
+    #[test]
+    fn unconsumed_load_does_not_stall() {
+        let (pe, _) = run(|e| {
+            for i in 0..10u64 {
+                e.load(0, 4096 * i, 8); // results never consumed
+            }
+        });
+        let t = ArchConfig::paper_default().timing;
+        let ifetch_cold = t.t_cl + t.t_bl;
+        assert!(
+            pe.now() <= 11 + ifetch_cold,
+            "stall-on-use: untouched loads retire at 1/cycle, now={}",
+            pe.now()
+        );
+        assert!(
+            pe.finish_cycle() > 30,
+            "completions still take DRAM latency"
+        );
+    }
+}

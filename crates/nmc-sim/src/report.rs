@@ -1,0 +1,97 @@
+//! Simulation results.
+
+use crate::cache::CacheStats;
+use crate::dram::DramStats;
+use crate::energy::EnergyBreakdown;
+
+/// The output of one simulation run — the label source for NAPEL training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Total dynamic instructions executed across all PEs.
+    pub instructions: u64,
+    /// Cycles until the last PE finished.
+    pub cycles: u64,
+    /// Core frequency used, GHz.
+    pub freq_ghz: f64,
+    /// Aggregate data-cache statistics.
+    pub dcache: CacheStats,
+    /// Aggregate instruction-cache statistics.
+    pub icache: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Number of PEs that executed at least one instruction.
+    pub active_pes: usize,
+}
+
+impl SimReport {
+    /// System-level instructions per cycle: total instructions over the
+    /// makespan. This is the `IPC(k, d, a)` label of Section 2.5.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Wall-clock execution time in seconds
+    /// (`Π = I_offload / (IPC · f_core)` in the paper, which reduces to
+    /// `cycles / f_core`).
+    pub fn exec_time_seconds(&self) -> f64 {
+        self.cycles as f64 * 1e-9 / self.freq_ghz
+    }
+
+    /// Total energy in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy.total_joules()
+    }
+
+    /// Energy-delay product in joule-seconds — the metric of the paper's
+    /// NMC-suitability use case (Section 3.4).
+    pub fn edp(&self) -> f64 {
+        self.energy_joules() * self.exec_time_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            instructions: 1000,
+            cycles: 2000,
+            freq_ghz: 1.25,
+            dcache: CacheStats::default(),
+            icache: CacheStats::default(),
+            dram: DramStats::default(),
+            energy: EnergyBreakdown {
+                pe_dynamic_pj: 1e6,
+                cache_pj: 0.0,
+                dram_dynamic_pj: 0.0,
+                static_pj: 0.0,
+            },
+            active_pes: 4,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.ipc() - 0.5).abs() < 1e-12);
+        assert!((r.exec_time_seconds() - 1.6e-6).abs() < 1e-18);
+        assert!((r.energy_joules() - 1e-6).abs() < 1e-18);
+        assert!((r.edp() - 1.6e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn zero_cycles_has_zero_ipc() {
+        let r = SimReport {
+            cycles: 0,
+            ..report()
+        };
+        assert_eq!(r.ipc(), 0.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! The full NMC system: PEs sharing the vaulted DRAM.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use napel_ir::MultiTrace;
+
+use crate::cache::CacheStats;
+use crate::config::ArchConfig;
+use crate::dram::DramModel;
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::pe::ProcessingElement;
+use crate::report::SimReport;
+
+/// The simulated NMC system of Figure 2 / Table 3.
+///
+/// Software threads map round-robin onto PEs; a PE with several threads runs
+/// them back-to-back. PEs interleave through shared DRAM in global time
+/// order (a min-heap on each PE's local clock), so bank and vault-bus
+/// contention between PEs is modeled.
+#[derive(Debug)]
+pub struct NmcSystem {
+    config: ArchConfig,
+    energy_model: EnergyModel,
+}
+
+impl NmcSystem {
+    /// Creates a system for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`ArchConfig::validate`]).
+    pub fn new(config: ArchConfig) -> Self {
+        config.validate();
+        NmcSystem {
+            config,
+            energy_model: EnergyModel::hmc_default(),
+        }
+    }
+
+    /// Replaces the energy model.
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Simulates one kernel execution.
+    pub fn run(&self, trace: &MultiTrace) -> SimReport {
+        let cfg = &self.config;
+        let num_pes = cfg.num_pes.min(trace.num_threads()).max(1);
+
+        // Assign threads to PEs round-robin; each PE executes its threads'
+        // traces concatenated.
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); num_pes];
+        for t in 0..trace.num_threads() {
+            assignments[t % num_pes].push(t);
+        }
+
+        let mut dram = DramModel::new(cfg);
+        let mut pes: Vec<ProcessingElement> =
+            (0..num_pes).map(|_| ProcessingElement::new(cfg)).collect();
+        // Per-PE cursor: (thread list index, instruction index).
+        let mut cursors: Vec<(usize, usize)> = vec![(0, 0); num_pes];
+
+        // Min-heap over PE local time so shared-resource contention is
+        // resolved in (approximately) global time order.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..num_pes)
+            .filter(|&p| !assignments[p].is_empty())
+            .map(|p| Reverse((0u64, p)))
+            .collect();
+
+        while let Some(Reverse((_, p))) = heap.pop() {
+            let (ref mut ti, ref mut ii) = cursors[p];
+            // Find the next instruction for this PE.
+            let inst = loop {
+                match assignments[p].get(*ti) {
+                    None => break None,
+                    Some(&thread) => {
+                        let tr = trace.thread(thread);
+                        if *ii < tr.len() {
+                            let inst = tr.insts()[*ii];
+                            *ii += 1;
+                            break Some(inst);
+                        }
+                        *ti += 1;
+                        *ii = 0;
+                    }
+                }
+            };
+            if let Some(inst) = inst {
+                pes[p].step(&inst, &mut dram, &self.energy_model);
+                heap.push(Reverse((pes[p].now(), p)));
+            }
+        }
+
+        self.assemble_report(&pes, &dram)
+    }
+
+    fn assemble_report(&self, pes: &[ProcessingElement], dram: &DramModel) -> SimReport {
+        let cfg = &self.config;
+        let e = &self.energy_model;
+
+        let instructions: u64 = pes.iter().map(|p| p.instructions()).sum();
+        let cycles = pes.iter().map(|p| p.finish_cycle()).max().unwrap_or(0);
+        let mut dcache = CacheStats::default();
+        let mut icache = CacheStats::default();
+        let mut pe_dynamic_pj = 0.0;
+        for p in pes {
+            let d = p.dcache_stats();
+            dcache.accesses += d.accesses;
+            dcache.hits += d.hits;
+            dcache.writebacks += d.writebacks;
+            let i = p.icache_stats();
+            icache.accesses += i.accesses;
+            icache.hits += i.hits;
+            icache.writebacks += i.writebacks;
+            pe_dynamic_pj += p.compute_energy_pj();
+        }
+
+        let ds = dram.stats();
+        let cache_pj = (dcache.accesses + icache.accesses) as f64 * e.cache_access_pj
+            + (dcache.misses() + icache.misses()) as f64 * e.cache_fill_pj;
+        let dram_dynamic_pj = ds.activations as f64 * e.dram_activate_pj
+            + ds.reads as f64 * e.dram_read_pj
+            + ds.writes as f64 * e.dram_write_pj;
+        let seconds = cycles as f64 * cfg.cycle_seconds();
+        // All configured PEs burn static power, active or not.
+        let static_pj = (cfg.num_pes as f64 * e.pe_static_w + e.dram_static_w) * seconds * 1e12;
+
+        SimReport {
+            instructions,
+            cycles,
+            freq_ghz: cfg.freq_ghz,
+            dcache,
+            icache,
+            dram: ds,
+            energy: EnergyBreakdown {
+                pe_dynamic_pj,
+                cache_pj,
+                dram_dynamic_pj,
+                static_pj,
+            },
+            active_pes: pes.iter().filter(|p| p.instructions() > 0).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_ir::Emitter;
+
+    fn streaming(threads: usize, n: u64) -> MultiTrace {
+        let mut t = MultiTrace::new(threads);
+        for th in 0..threads {
+            let mut e = Emitter::new(t.thread_sink(th));
+            for i in 0..n {
+                let base = (th as u64) << 24;
+                let x = e.load(0, base + 8 * i, 8);
+                let y = e.fmul(1, x, x);
+                e.store(2, base + 0x80_0000 + 8 * i, 8, y);
+            }
+        }
+        t
+    }
+
+    fn compute_bound(threads: usize, n: u64) -> MultiTrace {
+        let mut t = MultiTrace::new(threads);
+        for th in 0..threads {
+            let mut e = Emitter::new(t.thread_sink(th));
+            let mut acc = e.imm(0);
+            for _ in 0..n {
+                let x = e.imm(1);
+                acc = e.fadd(2, acc, x);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let r = NmcSystem::new(ArchConfig::paper_default()).run(&streaming(4, 200));
+        assert_eq!(r.instructions, 4 * 600);
+        assert!(r.cycles > 0);
+        assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
+        assert!(r.energy_joules() > 0.0);
+        assert_eq!(r.active_pes, 4);
+        assert_eq!(r.dcache.accesses, 4 * 400);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let t = streaming(3, 100);
+        let sys = NmcSystem::new(ArchConfig::paper_default());
+        assert_eq!(sys.run(&t), sys.run(&t));
+    }
+
+    #[test]
+    fn more_pes_speed_up_parallel_work() {
+        let t = streaming(8, 300);
+        let one = NmcSystem::new(ArchConfig {
+            num_pes: 1,
+            ..ArchConfig::paper_default()
+        });
+        let eight = NmcSystem::new(ArchConfig {
+            num_pes: 8,
+            ..ArchConfig::paper_default()
+        });
+        let r1 = one.run(&t);
+        let r8 = eight.run(&t);
+        // Streaming is memory-bound, so scaling is sublinear (vault/bank
+        // contention) but must still be substantial.
+        assert!(
+            r8.cycles * 2 < r1.cycles,
+            "8 PEs should be much faster: {} vs {} cycles",
+            r8.cycles,
+            r1.cycles
+        );
+        // Same total work either way.
+        assert_eq!(r1.instructions, r8.instructions);
+    }
+
+    #[test]
+    fn memory_bound_ipc_below_compute_bound_ipc() {
+        let sys = NmcSystem::new(ArchConfig {
+            num_pes: 2,
+            ..ArchConfig::paper_default()
+        });
+        let mem = sys.run(&streaming(2, 400));
+        let cpu = sys.run(&compute_bound(2, 400));
+        assert!(
+            mem.ipc() < cpu.ipc(),
+            "streaming ({}) must be slower than compute-bound ({})",
+            mem.ipc(),
+            cpu.ipc()
+        );
+    }
+
+    #[test]
+    fn threads_beyond_pes_serialize() {
+        let t = streaming(8, 100);
+        let sys = NmcSystem::new(ArchConfig {
+            num_pes: 2,
+            ..ArchConfig::paper_default()
+        });
+        let r = sys.run(&t);
+        assert_eq!(r.active_pes, 2);
+        assert_eq!(r.instructions, 8 * 300);
+    }
+
+    #[test]
+    fn higher_frequency_shortens_time_not_cycles_for_compute() {
+        let t = compute_bound(1, 500);
+        let slow = NmcSystem::new(ArchConfig {
+            freq_ghz: 1.0,
+            ..ArchConfig::paper_default()
+        });
+        let fast = NmcSystem::new(ArchConfig {
+            freq_ghz: 2.0,
+            ..ArchConfig::paper_default()
+        });
+        let rs = slow.run(&t);
+        let rf = fast.run(&t);
+        assert_eq!(
+            rs.cycles, rf.cycles,
+            "cycle counts are frequency-independent here"
+        );
+        assert!(rf.exec_time_seconds() < rs.exec_time_seconds());
+    }
+
+    #[test]
+    fn dram_traffic_matches_cache_misses() {
+        let r = NmcSystem::new(ArchConfig::paper_default()).run(&streaming(1, 512));
+        // Every D-miss fetches a line; dirty evictions add writes.
+        assert_eq!(r.dram.reads, r.dcache.misses());
+        assert_eq!(r.dram.writes, r.dcache.writebacks);
+    }
+
+    #[test]
+    fn bigger_cache_cuts_dram_traffic() {
+        // A reuse-heavy kernel: repeated sweep over 16 KiB.
+        let mut t = MultiTrace::new(1);
+        let mut e = Emitter::new(t.thread_sink(0));
+        for _ in 0..4 {
+            for i in 0..2048u64 {
+                e.load(0, 8 * i, 8);
+            }
+        }
+        drop(e);
+        let tiny = NmcSystem::new(ArchConfig::paper_default()).run(&t);
+        let big = NmcSystem::new(ArchConfig {
+            cache_lines: 512, // 32 KiB
+            ..ArchConfig::paper_default()
+        })
+        .run(&t);
+        assert!(
+            big.dram.reads < tiny.dram.reads / 2,
+            "32KiB cache should absorb the sweep: {} vs {}",
+            big.dram.reads,
+            tiny.dram.reads
+        );
+        assert!(big.cycles < tiny.cycles);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the cache model against a reference implementation.
+
+use proptest::prelude::*;
+
+use nmc_sim::cache::Cache;
+
+/// Reference fully-associative LRU cache.
+struct RefLru {
+    lines: Vec<u64>,
+    capacity: usize,
+}
+
+impl RefLru {
+    fn new(capacity: usize) -> Self {
+        RefLru {
+            lines: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Returns whether the access hit.
+    fn access(&mut self, line_addr: u64) -> bool {
+        if let Some(pos) = self.lines.iter().position(|&l| l == line_addr) {
+            let l = self.lines.remove(pos);
+            self.lines.push(l);
+            true
+        } else {
+            if self.lines.len() == self.capacity {
+                self.lines.remove(0);
+            }
+            self.lines.push(line_addr);
+            false
+        }
+    }
+}
+
+fn addr_stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..4096, 1..400)
+}
+
+proptest! {
+    #[test]
+    fn fully_associative_matches_reference_lru(addrs in addr_stream(), cap in 1usize..16) {
+        let mut cache = Cache::new(cap, 64, cap); // fully associative
+        let mut reference = RefLru::new(cap);
+        for &a in &addrs {
+            let byte_addr = a * 64;
+            let got = cache.access(byte_addr, false).hit;
+            let want = reference.access(a);
+            prop_assert_eq!(got, want, "divergence at line {}", a);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(addrs in addr_stream(), write_mask in any::<u64>()) {
+        let mut cache = Cache::new(4, 64, 2);
+        for (i, &a) in addrs.iter().enumerate() {
+            cache.access(a * 8, write_mask >> (i % 64) & 1 == 1);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses as usize, addrs.len());
+        prop_assert!(s.hits <= s.accesses);
+        prop_assert!(s.writebacks <= s.misses(), "can only write back filled lines");
+        prop_assert!((0.0..=1.0).contains(&s.hit_ratio()));
+    }
+
+    #[test]
+    fn larger_fully_associative_cache_never_hits_less(addrs in addr_stream()) {
+        // LRU inclusion property: a bigger fully-associative LRU cache's
+        // content is a superset, so its hit count dominates.
+        let mut small = Cache::new(2, 64, 2);
+        let mut large = Cache::new(8, 64, 8);
+        for &a in &addrs {
+            small.access(a * 64, false);
+            large.access(a * 64, false);
+        }
+        prop_assert!(large.stats().hits >= small.stats().hits);
+    }
+
+    #[test]
+    fn read_only_streams_never_write_back(addrs in addr_stream()) {
+        let mut cache = Cache::new(2, 64, 2);
+        for &a in &addrs {
+            let acc = cache.access(a * 64, false);
+            prop_assert_eq!(acc.writeback, None);
+        }
+        prop_assert_eq!(cache.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn writeback_addresses_were_previously_written(addrs in addr_stream()) {
+        use std::collections::HashSet;
+        let mut cache = Cache::new(4, 64, 2);
+        let mut written: HashSet<u64> = HashSet::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            let write = i % 3 == 0;
+            let byte = a * 64;
+            let acc = cache.access(byte, write);
+            if write {
+                written.insert(byte);
+            }
+            if let Some(wb) = acc.writeback {
+                prop_assert!(
+                    written.contains(&wb),
+                    "write-back of never-written line {wb:#x}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for DRAM timing legality.
+
+use proptest::prelude::*;
+
+use nmc_sim::dram::DramModel;
+use nmc_sim::{ArchConfig, DramTiming, RowPolicy};
+
+fn configs() -> impl Strategy<Value = ArchConfig> {
+    (1usize..=32, 1usize..=8, prop::bool::ANY).prop_map(|(vaults, layers, open)| ArchConfig {
+        vaults,
+        dram_layers: layers,
+        row_policy: if open {
+            RowPolicy::Open
+        } else {
+            RowPolicy::Closed
+        },
+        ..ArchConfig::paper_default()
+    })
+}
+
+proptest! {
+    #[test]
+    fn completion_never_precedes_request(cfg in configs(), accesses in prop::collection::vec((0u64..1_000_000, any::<bool>(), 0u64..500), 1..200)) {
+        let mut dram = DramModel::new(&cfg);
+        let mut now = 0u64;
+        let t = cfg.timing;
+        let min_latency = t.t_cl + t.t_bl; // open-row hit floor
+        for &(addr, write, dt) in &accesses {
+            now += dt;
+            let done = dram.access(addr, write, now);
+            prop_assert!(done >= now + min_latency, "done {done} too early for now {now}");
+        }
+    }
+
+    #[test]
+    fn vault_bus_bursts_never_overlap(cfg in configs(), accesses in prop::collection::vec((0u64..100_000, any::<bool>()), 1..150)) {
+        // All requests issued at time 0: every completion's burst window
+        // [done - tBL, done] on a given vault must be disjoint.
+        let mut dram = DramModel::new(&cfg);
+        let t = cfg.timing;
+        let mut windows: std::collections::HashMap<usize, Vec<(u64, u64)>> = Default::default();
+        for &(addr, write) in &accesses {
+            let (vault, _, _) = dram.map(addr);
+            let done = dram.access(addr, write, 0);
+            windows.entry(vault).or_default().push((done - t.t_bl, done));
+        }
+        for (vault, mut w) in windows {
+            w.sort();
+            for pair in w.windows(2) {
+                prop_assert!(
+                    pair[1].0 >= pair[0].1,
+                    "vault {vault}: burst {:?} overlaps {:?}",
+                    pair[1],
+                    pair[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_bank_accesses_are_serialized(cfg in configs(), n in 2usize..50) {
+        // Back-to-back accesses to one address hit the same bank; each
+        // completion must be strictly later than the previous.
+        let mut dram = DramModel::new(&cfg);
+        let mut prev = 0;
+        for _ in 0..n {
+            let done = dram.access(0x40, false, 0);
+            prop_assert!(done > prev, "bank must serialize: {done} after {prev}");
+            prev = done;
+        }
+        prop_assert_eq!(dram.stats().reads, n as u64);
+    }
+
+    #[test]
+    fn open_row_wins_on_row_locality_and_is_boundedly_worse_otherwise(
+        accesses in prop::collection::vec(0u64..4096, 1..200)
+    ) {
+        // Open-row hits save tRCD (+ the hidden tRP); row *conflicts* move
+        // the precharge onto the critical path, so open-row can lose — but
+        // by at most tRP per access. Both bounds are checked on the same
+        // sequentially-issued read trace.
+        let base = ArchConfig::paper_default();
+        let mut closed = DramModel::new(&base);
+        let mut open = DramModel::new(&ArchConfig { row_policy: RowPolicy::Open, ..base.clone() });
+        let (mut tc, mut to) = (0u64, 0u64);
+        for &a in &accesses {
+            tc = closed.access(a * 64, false, tc);
+            to = open.access(a * 64, false, to);
+        }
+        let slack = DramTiming::default().t_rp * accesses.len() as u64;
+        prop_assert!(to <= tc + slack, "open {to} vs closed {tc} (+{slack})");
+    }
+
+    #[test]
+    fn open_row_strictly_wins_within_one_row(n in 2u64..32) {
+        // All accesses inside one 256B row: after the first activation every
+        // open-row access is a row hit, closed re-activates every time.
+        let base = ArchConfig::paper_default();
+        let mut closed = DramModel::new(&base);
+        let mut open = DramModel::new(&ArchConfig { row_policy: RowPolicy::Open, ..base.clone() });
+        let (mut tc, mut to) = (0u64, 0u64);
+        for i in 0..n {
+            let addr = (i % 4) * 64; // stay within the 256B row buffer
+            tc = closed.access(addr, false, tc);
+            to = open.access(addr, false, to);
+        }
+        prop_assert!(to < tc, "open {to} must beat closed {tc} on pure row locality");
+        prop_assert_eq!(open.stats().row_hits, n - 1);
+    }
+
+    #[test]
+    fn stats_count_every_access(cfg in configs(), accesses in prop::collection::vec((0u64..100_000, any::<bool>()), 1..100)) {
+        let mut dram = DramModel::new(&cfg);
+        let mut writes = 0;
+        for &(addr, write) in &accesses {
+            dram.access(addr, write, 0);
+            writes += u64::from(write);
+        }
+        let s = dram.stats();
+        prop_assert_eq!(s.accesses(), accesses.len() as u64);
+        prop_assert_eq!(s.writes, writes);
+        if cfg.row_policy == RowPolicy::Closed {
+            prop_assert_eq!(s.activations, accesses.len() as u64, "closed row activates per access");
+            prop_assert_eq!(s.row_hits, 0);
+        } else {
+            prop_assert_eq!(s.activations + s.row_hits, accesses.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Memory footprint and static-code statistics.
+
+use napel_ir::fxhash::FxHashSet;
+
+use napel_ir::{Inst, Opcode};
+
+/// Tracks the total memory size used by the application (Table 1:
+/// "memory footprint") plus static-code statistics.
+#[derive(Debug, Clone, Default)]
+pub struct FootprintAnalyzer {
+    read_elems: FxHashSet<u64>,
+    written_elems: FxHashSet<u64>,
+    pcs: FxHashSet<u32>,
+}
+
+impl FootprintAnalyzer {
+    /// Creates an empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one instruction.
+    #[inline]
+    pub fn observe(&mut self, inst: &Inst) {
+        self.pcs.insert(inst.pc);
+        if let Some(addr) = inst.mem_addr() {
+            let elem = addr >> 3;
+            match inst.op {
+                Opcode::Load => {
+                    self.read_elems.insert(elem);
+                }
+                Opcode::Store => {
+                    self.written_elems.insert(elem);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Bytes read at least once (8-byte element granularity).
+    pub fn read_bytes(&self) -> u64 {
+        self.read_elems.len() as u64 * 8
+    }
+
+    /// Bytes written at least once.
+    pub fn written_bytes(&self) -> u64 {
+        self.written_elems.len() as u64 * 8
+    }
+
+    /// Total footprint: bytes read or written at least once.
+    pub fn total_bytes(&self) -> u64 {
+        let union: FxHashSet<&u64> = self.read_elems.union(&self.written_elems).collect();
+        union.len() as u64 * 8
+    }
+
+    /// Number of distinct static instructions (unique `pc` values).
+    pub fn static_insts(&self) -> usize {
+        self.pcs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_ir::{Emitter, Trace};
+
+    #[test]
+    fn footprint_counts_unique_elements() {
+        let mut t = Trace::new();
+        let mut e = Emitter::new(&mut t);
+        for _ in 0..4 {
+            let x = e.load(0, 0x100, 8);
+            e.store(1, 0x200, 8, x);
+        }
+        let y = e.load(2, 0x108, 8);
+        e.store(3, 0x200, 8, y); // overlaps previous store
+        drop(e);
+        let mut f = FootprintAnalyzer::new();
+        for i in t.iter() {
+            f.observe(i);
+        }
+        assert_eq!(f.read_bytes(), 16); // 0x100, 0x108
+        assert_eq!(f.written_bytes(), 8); // 0x200
+        assert_eq!(f.total_bytes(), 24);
+        assert_eq!(f.static_insts(), 4);
+    }
+
+    #[test]
+    fn read_write_overlap_not_double_counted() {
+        let mut t = Trace::new();
+        let mut e = Emitter::new(&mut t);
+        let x = e.load(0, 0x40, 8);
+        e.store(1, 0x40, 8, x);
+        drop(e);
+        let mut f = FootprintAnalyzer::new();
+        for i in t.iter() {
+            f.observe(i);
+        }
+        assert_eq!(f.total_bytes(), 8);
+        assert_eq!(f.read_bytes(), 8);
+        assert_eq!(f.written_bytes(), 8);
+    }
+
+    #[test]
+    fn empty_analyzer_is_zero() {
+        let f = FootprintAnalyzer::new();
+        assert_eq!(f.total_bytes(), 0);
+        assert_eq!(f.static_insts(), 0);
+    }
+}

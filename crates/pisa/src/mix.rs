@@ -1,0 +1,198 @@
+//! Instruction-mix statistics.
+
+use napel_ir::{Inst, OpClass, Opcode};
+
+/// Dynamic instruction-mix counters.
+///
+/// Tracks per-opcode and per-class counts plus register-operand traffic
+/// ("average number of registers per instruction" in Table 1 of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MixCounter {
+    total: u64,
+    per_op: [u64; Opcode::ALL.len()],
+    src_regs: u64,
+    dst_regs: u64,
+    mem_bytes_read: u64,
+    mem_bytes_written: u64,
+    cond_branches: u64,
+}
+
+impl MixCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one instruction.
+    #[inline]
+    pub fn observe(&mut self, inst: &Inst) {
+        self.total += 1;
+        self.per_op[inst.op.index()] += 1;
+        self.src_regs += inst.num_src_regs() as u64;
+        self.dst_regs += u64::from(inst.dst_reg().is_some());
+        match inst.op {
+            Opcode::Load => self.mem_bytes_read += u64::from(inst.size),
+            Opcode::Store => self.mem_bytes_written += u64::from(inst.size),
+            Opcode::Branch => {
+                // A branch that reads a register is data-dependent
+                // (conditional); bare branches are loop back-edges.
+                self.cond_branches += u64::from(inst.num_src_regs() > 0);
+            }
+            _ => {}
+        }
+    }
+
+    /// Total instructions observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of instructions with opcode `op` (0 if the stream is empty).
+    pub fn op_fraction(&self, op: Opcode) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.per_op[op.index()] as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of instructions in class `class`.
+    pub fn class_fraction(&self, class: OpClass) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let count: u64 = Opcode::ALL
+            .iter()
+            .filter(|op| op.class() == class)
+            .map(|op| self.per_op[op.index()])
+            .sum();
+        count as f64 / self.total as f64
+    }
+
+    /// Average source-register operands per instruction (register read
+    /// traffic).
+    pub fn avg_src_regs(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.src_regs as f64 / self.total as f64
+        }
+    }
+
+    /// Average destination registers per instruction (register write
+    /// traffic).
+    pub fn avg_dst_regs(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.dst_regs as f64 / self.total as f64
+        }
+    }
+
+    /// Bytes read from memory.
+    pub fn bytes_read(&self) -> u64 {
+        self.mem_bytes_read
+    }
+
+    /// Bytes written to memory.
+    pub fn bytes_written(&self) -> u64 {
+        self.mem_bytes_written
+    }
+
+    /// Average access size in bytes over loads and stores (0 if none).
+    pub fn avg_access_size(&self) -> f64 {
+        let mem = self.per_op[Opcode::Load.index()] + self.per_op[Opcode::Store.index()];
+        if mem == 0 {
+            0.0
+        } else {
+            (self.mem_bytes_read + self.mem_bytes_written) as f64 / mem as f64
+        }
+    }
+
+    /// Ratio of loads to stores (`loads / max(stores, 1)`).
+    pub fn load_store_ratio(&self) -> f64 {
+        let loads = self.per_op[Opcode::Load.index()];
+        let stores = self.per_op[Opcode::Store.index()].max(1);
+        loads as f64 / stores as f64
+    }
+
+    /// Fraction of all instructions that are *data-dependent* (conditional)
+    /// branches — loop back-edges excluded. Data-dependent control flow
+    /// defeats vectorization and branch prediction alike.
+    pub fn cond_branch_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.cond_branches as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_ir::{Emitter, Trace};
+
+    fn counted(build: impl FnOnce(&mut Emitter<&mut Trace>)) -> MixCounter {
+        let mut t = Trace::new();
+        let mut e = Emitter::new(&mut t);
+        build(&mut e);
+        drop(e);
+        let mut c = MixCounter::new();
+        for i in t.iter() {
+            c.observe(i);
+        }
+        c
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let c = counted(|e| {
+            let a = e.load(0, 0, 8);
+            let b = e.load(1, 8, 8);
+            let s = e.fadd(2, a, b);
+            e.store(3, 16, 8, s);
+            e.branch(4);
+        });
+        let total: f64 = Opcode::ALL.iter().map(|&op| c.op_fraction(op)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let class_total: f64 = OpClass::ALL.iter().map(|&cl| c.class_fraction(cl)).sum();
+        assert!((class_total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_fractions_match() {
+        let c = counted(|e| {
+            let a = e.load(0, 0, 4);
+            e.store(1, 8, 4, a);
+            e.store(2, 16, 4, a);
+            e.branch(3);
+        });
+        assert!((c.class_fraction(OpClass::MemRead) - 0.25).abs() < 1e-12);
+        assert!((c.class_fraction(OpClass::MemWrite) - 0.5).abs() < 1e-12);
+        assert_eq!(c.bytes_read(), 4);
+        assert_eq!(c.bytes_written(), 8);
+        assert!((c.avg_access_size() - 4.0).abs() < 1e-12);
+        assert!((c.load_store_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_traffic() {
+        let c = counted(|e| {
+            let a = e.imm(0); // 0 srcs, 1 dst
+            let b = e.fadd(1, a, a); // 2 srcs, 1 dst
+            e.store(2, 0, 8, b); // 1 src, 0 dst
+        });
+        assert!((c.avg_src_regs() - 1.0).abs() < 1e-12);
+        assert!((c.avg_dst_regs() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_is_all_zero() {
+        let c = MixCounter::new();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.op_fraction(Opcode::Load), 0.0);
+        assert_eq!(c.avg_src_regs(), 0.0);
+        assert_eq!(c.avg_access_size(), 0.0);
+    }
+}

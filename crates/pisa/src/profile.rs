@@ -1,0 +1,292 @@
+//! The assembled microarchitecture-independent application profile.
+
+use std::sync::OnceLock;
+
+use napel_ir::{MultiTrace, OpClass, Opcode};
+
+use crate::footprint::FootprintAnalyzer;
+use crate::ilp::IlpAnalyzer;
+use crate::mix::MixCounter;
+use crate::reuse::{ReuseAnalyzer, ReuseHistogram, NUM_BUCKETS};
+use crate::traffic::{Granularity, TrafficAnalyzer};
+
+/// Number of power-of-two reuse-distance buckets in the profile
+/// (re-exported from [`crate::reuse`]).
+pub const NUM_REUSE_BUCKETS: usize = NUM_BUCKETS;
+
+/// The flat, named feature vector `p(k, d)` of Section 2.3 of the paper.
+///
+/// The paper's PISA profile has 395 features; ours has a comparable count
+/// (see [`feature_names`]) covering the same Table 1 metrics. The layout is
+/// stable: `values()[i]` always corresponds to `feature_names()[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplicationProfile {
+    values: Vec<f64>,
+}
+
+impl ApplicationProfile {
+    /// Profiles a kernel execution.
+    ///
+    /// The per-thread traces are analyzed back-to-back (thread 0's full
+    /// stream, then thread 1's, ...): reuse distances, spatial locality and
+    /// ILP are *per-thread* properties — each software thread runs on its
+    /// own core whose cache and prefetcher see only that thread's access
+    /// stream — while mix, footprint, and volume aggregate over the union.
+    /// A round-robin interleaving would instead measure cross-thread
+    /// artifacts (e.g. false spatial locality on shared read-only data).
+    pub fn of(trace: &MultiTrace) -> Self {
+        let mut mix = MixCounter::new();
+        let mut ilp = IlpAnalyzer::new();
+        let mut elem = TrafficAnalyzer::new(Granularity::Element);
+        let mut line = TrafficAnalyzer::new(Granularity::Line64);
+        let mut inst_reuse = ReuseAnalyzer::with_capacity(trace.total_insts());
+        let mut footprint = FootprintAnalyzer::new();
+
+        for thread in trace.iter() {
+            for inst in thread.iter() {
+                mix.observe(inst);
+                ilp.observe(inst);
+                elem.observe(inst);
+                line.observe(inst);
+                inst_reuse.access(u64::from(inst.pc));
+                footprint.observe(inst);
+            }
+        }
+
+        let mut values = Vec::with_capacity(feature_names().len());
+
+        // 1-2. Instruction mix.
+        for op in Opcode::ALL {
+            values.push(mix.op_fraction(op));
+        }
+        for class in OpClass::ALL {
+            values.push(mix.class_fraction(class));
+        }
+        // 3-4. Volume and register traffic.
+        values.push(log2p1(mix.total() as f64));
+        values.push(mix.avg_src_regs());
+        values.push(mix.avg_dst_regs());
+        values.push(mix.avg_access_size());
+        values.push(mix.load_store_ratio());
+        values.push(mix.cond_branch_fraction());
+        // 5. ILP per window.
+        values.extend(ilp.ilp());
+        // 6. Reuse CDFs and traffic curves per granularity.
+        for t in [&elem, &line] {
+            push_cdf(&mut values, t.read_histogram());
+            push_cdf(&mut values, t.write_histogram());
+            push_cdf(&mut values, t.combined_histogram());
+            for b in 0..NUM_BUCKETS {
+                values.push(t.read_traffic(b));
+            }
+            for b in 0..NUM_BUCKETS {
+                values.push(t.write_traffic(b));
+            }
+        }
+        // 7. Element-granularity combined PDF.
+        for b in 0..NUM_BUCKETS {
+            values.push(elem.combined_histogram().pdf(b));
+        }
+        // 8. Instruction reuse CDF and PDF.
+        push_cdf(&mut values, inst_reuse.histogram());
+        for b in 0..NUM_BUCKETS {
+            values.push(inst_reuse.histogram().pdf(b));
+        }
+        // 9. Cold fractions.
+        values.push(elem.read_histogram().cold_fraction());
+        values.push(elem.write_histogram().cold_fraction());
+        values.push(elem.combined_histogram().cold_fraction());
+        values.push(line.combined_histogram().cold_fraction());
+        values.push(inst_reuse.histogram().cold_fraction());
+        // 10. Reuse summary statistics.
+        for h in [elem.combined_histogram(), inst_reuse.histogram()] {
+            values.push(h.mean_log2());
+            values.push(h.quantile_bucket(0.5) as f64);
+            values.push(h.quantile_bucket(0.9) as f64);
+        }
+        // 11. Footprint.
+        values.push(log2p1(footprint.total_bytes() as f64));
+        values.push(log2p1(footprint.read_bytes() as f64));
+        values.push(log2p1(footprint.written_bytes() as f64));
+        values.push(log2p1(footprint.static_insts() as f64));
+        // 12. Threads.
+        values.push(trace.num_threads() as f64);
+
+        debug_assert_eq!(values.len(), feature_names().len());
+        ApplicationProfile { values }
+    }
+
+    /// The feature values, aligned with [`feature_names`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Looks up a feature by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a profile feature (see [`feature_names`]).
+    pub fn value(&self, name: &str) -> f64 {
+        let idx = feature_names()
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("unknown profile feature `{name}`"));
+        self.values[idx]
+    }
+}
+
+fn push_cdf(values: &mut Vec<f64>, h: &ReuseHistogram) {
+    for b in 0..NUM_BUCKETS {
+        values.push(h.cdf(b));
+    }
+}
+
+fn log2p1(x: f64) -> f64 {
+    (x + 1.0).log2()
+}
+
+/// The stable names of every profile feature, in `values()` order.
+///
+/// The count is fixed at compile time (`~360` features, the analog of the
+/// paper's 395) and asserted against every constructed profile.
+pub fn feature_names() -> &'static [String] {
+    static NAMES: OnceLock<Vec<String>> = OnceLock::new();
+    NAMES.get_or_init(|| {
+        let mut names = Vec::new();
+        for op in Opcode::ALL {
+            names.push(format!("mix.op.{}", op.mnemonic()));
+        }
+        for class in OpClass::ALL {
+            names.push(format!("mix.class.{}", class.label()));
+        }
+        names.push("mix.log2_total_insts".into());
+        names.push("mix.avg_src_regs".into());
+        names.push("mix.avg_dst_regs".into());
+        names.push("mix.avg_access_size".into());
+        names.push("mix.load_store_ratio".into());
+        names.push("mix.cond_branch_frac".into());
+        for w in ["w32", "w64", "w128", "w256", "inf"] {
+            names.push(format!("ilp.{w}"));
+        }
+        for g in ["elem", "line64"] {
+            for kind in ["read", "write", "all"] {
+                for b in 0..NUM_BUCKETS {
+                    names.push(format!("reuse.{g}.{kind}.cdf.b{b}"));
+                }
+            }
+            for kind in ["read", "write"] {
+                for b in 0..NUM_BUCKETS {
+                    names.push(format!("traffic.{g}.{kind}.b{b}"));
+                }
+            }
+        }
+        for b in 0..NUM_BUCKETS {
+            names.push(format!("reuse.elem.all.pdf.b{b}"));
+        }
+        for b in 0..NUM_BUCKETS {
+            names.push(format!("reuse.inst.cdf.b{b}"));
+        }
+        for b in 0..NUM_BUCKETS {
+            names.push(format!("reuse.inst.pdf.b{b}"));
+        }
+        names.push("reuse.elem.read.cold".into());
+        names.push("reuse.elem.write.cold".into());
+        names.push("reuse.elem.all.cold".into());
+        names.push("reuse.line64.all.cold".into());
+        names.push("reuse.inst.cold".into());
+        for h in ["elem.all", "inst"] {
+            names.push(format!("reuse.{h}.mean_log2"));
+            names.push(format!("reuse.{h}.q50_bucket"));
+            names.push(format!("reuse.{h}.q90_bucket"));
+        }
+        names.push("footprint.log2_total_bytes".into());
+        names.push("footprint.log2_read_bytes".into());
+        names.push("footprint.log2_written_bytes".into());
+        names.push("footprint.log2_static_insts".into());
+        names.push("threads".into());
+        names
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_ir::Emitter;
+
+    fn streaming_trace(n: u64, threads: usize) -> MultiTrace {
+        let mut t = MultiTrace::new(threads);
+        for th in 0..threads {
+            let mut e = Emitter::new(t.thread_sink(th));
+            for i in 0..n {
+                let a = e.load(0, (th as u64) << 32 | (8 * i), 8);
+                let b = e.fmul(1, a, a);
+                e.store(2, ((th as u64) << 32) | (0x1000_0000 + 8 * i), 8, b);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn names_and_values_align() {
+        let p = ApplicationProfile::of(&streaming_trace(100, 2));
+        assert_eq!(p.values().len(), feature_names().len());
+        assert!(
+            p.values().iter().all(|v| v.is_finite()),
+            "all features finite"
+        );
+    }
+
+    #[test]
+    fn feature_names_are_unique() {
+        let names = feature_names();
+        let mut set = std::collections::HashSet::new();
+        for n in names {
+            assert!(set.insert(n), "duplicate feature name {n}");
+        }
+        // Comparable to the paper's 395 features.
+        assert!(names.len() >= 300, "profile has {} features", names.len());
+    }
+
+    #[test]
+    fn mix_features_reflect_kernel() {
+        let p = ApplicationProfile::of(&streaming_trace(64, 1));
+        // Kernel is load+fmul+store: one third each.
+        assert!((p.value("mix.op.load") - 1.0 / 3.0).abs() < 1e-9);
+        assert!((p.value("mix.op.fmul") - 1.0 / 3.0).abs() < 1e-9);
+        assert!((p.value("mix.op.store") - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.value("threads"), 1.0);
+    }
+
+    #[test]
+    fn streaming_kernel_has_cold_data_hot_code() {
+        let p = ApplicationProfile::of(&streaming_trace(200, 1));
+        // Data: never reused at element granularity.
+        assert!(p.value("reuse.elem.all.cold") > 0.99);
+        // Code: 3 static instructions replayed 200 times.
+        assert!(p.value("reuse.inst.cold") < 0.05);
+        assert!(p.value("footprint.log2_static_insts") < 3.0);
+    }
+
+    #[test]
+    fn value_panics_on_unknown_feature() {
+        let p = ApplicationProfile::of(&streaming_trace(4, 1));
+        let r = std::panic::catch_unwind(|| p.value("no.such.feature"));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn threads_feature_tracks_multitrace() {
+        let p = ApplicationProfile::of(&streaming_trace(16, 4));
+        assert_eq!(p.value("threads"), 4.0);
+    }
+
+    #[test]
+    fn footprint_scales_with_problem_size() {
+        let small = ApplicationProfile::of(&streaming_trace(32, 1));
+        let large = ApplicationProfile::of(&streaming_trace(1024, 1));
+        assert!(
+            large.value("footprint.log2_total_bytes") > small.value("footprint.log2_total_bytes")
+        );
+        assert!(large.value("mix.log2_total_insts") > small.value("mix.log2_total_insts"));
+    }
+}

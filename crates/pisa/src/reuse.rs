@@ -1,0 +1,394 @@
+//! Reuse-distance (LRU stack distance) analysis.
+//!
+//! Table 1 of the paper: "for a given distance δ, probability of reusing one
+//! data element/instruction before accessing δ other unique data
+//! elements/instructions". That is the classic *stack distance*: the number
+//! of distinct elements touched since the previous access to the same
+//! element. We compute it exactly in `O(log n)` per access with the
+//! Bennett–Kruskal/Olken algorithm: a Fenwick tree over access timestamps
+//! marks which timestamps are the *most recent* access of their element;
+//! the stack distance of an access is the count of marked timestamps after
+//! the element's previous access.
+//!
+//! Distances are summarized in power-of-two buckets
+//! ([`ReuseHistogram`]); cold (first-touch) accesses are tracked separately.
+
+use napel_ir::fxhash::FxHashMap;
+
+/// Number of power-of-two distance buckets (bucket `b` holds distances in
+/// `(2^(b−1), 2^b]`, bucket 0 holds distance ≤ 1).
+pub const NUM_BUCKETS: usize = 24;
+
+/// Histogram of reuse distances in power-of-two buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReuseHistogram {
+    buckets: [u64; NUM_BUCKETS],
+    cold: u64,
+    total: u64,
+    sum_log2: u64,
+}
+
+impl ReuseHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        ReuseHistogram {
+            buckets: [0; NUM_BUCKETS],
+            cold: 0,
+            total: 0,
+            sum_log2: 0,
+        }
+    }
+
+    /// Records one access with the given stack distance (`None` = cold).
+    #[inline]
+    pub fn record(&mut self, distance: Option<u64>) {
+        self.total += 1;
+        match distance {
+            None => self.cold += 1,
+            Some(d) => {
+                let b = bucket_of(d);
+                self.buckets[b] += 1;
+                self.sum_log2 += b as u64;
+            }
+        }
+    }
+
+    /// Total accesses recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Cold (first-touch) accesses.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Probability that an access reuses its element within distance
+    /// `2^bucket` — the paper's per-δ reuse probability (cold accesses count
+    /// as "not reused").
+    pub fn cdf(&self, bucket: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self.buckets[..=bucket.min(NUM_BUCKETS - 1)].iter().sum();
+        hits as f64 / self.total as f64
+    }
+
+    /// Probability mass of exactly bucket `b`.
+    pub fn pdf(&self, bucket: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.buckets[bucket.min(NUM_BUCKETS - 1)] as f64 / self.total as f64
+    }
+
+    /// Fraction of accesses that are cold.
+    pub fn cold_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.cold as f64 / self.total as f64
+        }
+    }
+
+    /// Mean log₂ reuse distance over warm accesses (0 if none).
+    pub fn mean_log2(&self) -> f64 {
+        let warm = self.total - self.cold;
+        if warm == 0 {
+            0.0
+        } else {
+            self.sum_log2 as f64 / warm as f64
+        }
+    }
+
+    /// Smallest bucket whose CDF reaches `q` (e.g. 0.5 for the median
+    /// log₂-distance), or `NUM_BUCKETS` if never reached (mostly cold).
+    pub fn quantile_bucket(&self, q: f64) -> usize {
+        for b in 0..NUM_BUCKETS {
+            if self.cdf(b) >= q {
+                return b;
+            }
+        }
+        NUM_BUCKETS
+    }
+}
+
+impl Default for ReuseHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a distance (`d = 0` or `1` → bucket 0).
+#[inline]
+fn bucket_of(d: u64) -> usize {
+    if d <= 1 {
+        0
+    } else {
+        (64 - (d - 1).leading_zeros() as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Exact LRU stack-distance tracker over an arbitrary key space.
+///
+/// # Example
+///
+/// ```
+/// use napel_pisa::reuse::StackDistance;
+///
+/// let mut s = StackDistance::new();
+/// assert_eq!(s.access(10), None);      // cold
+/// assert_eq!(s.access(20), None);      // cold
+/// assert_eq!(s.access(10), Some(1));   // one distinct element in between
+/// assert_eq!(s.access(10), Some(0));   // immediate reuse
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StackDistance {
+    /// Fenwick tree over timestamps; `tree[t] = 1` iff timestamp `t` is the
+    /// most recent access of its element.
+    tree: Vec<u32>,
+    /// Last access timestamp (1-based) of each element.
+    last: FxHashMap<u64, usize>,
+    /// Next timestamp to assign (1-based).
+    clock: usize,
+}
+
+impl StackDistance {
+    /// Creates a tracker that grows as accesses arrive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tracker pre-sized for `n` accesses (avoids regrowth).
+    pub fn with_capacity(n: usize) -> Self {
+        StackDistance {
+            tree: vec![0; n + 1],
+            last: FxHashMap::default(),
+            clock: 0,
+        }
+    }
+
+    /// Number of distinct elements seen.
+    pub fn distinct(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Records an access to `key`, returning its stack distance (`None` for
+    /// first touch). Distance 0 means immediate re-access.
+    pub fn access(&mut self, key: u64) -> Option<u64> {
+        self.clock += 1;
+        let t = self.clock;
+        if t >= self.tree.len() {
+            self.grow(t);
+        }
+        let dist = match self.last.insert(key, t) {
+            None => None,
+            Some(prev) => {
+                // Distinct elements touched strictly after prev, before t.
+                let count = self.prefix(t - 1) - self.prefix(prev);
+                self.update(prev, -1);
+                Some(count as u64)
+            }
+        };
+        self.update(t, 1);
+        dist
+    }
+
+    fn grow(&mut self, need: usize) {
+        let new_len = (need + 1).next_power_of_two().max(1024);
+        // Rebuild the Fenwick from the surviving marks in `last`.
+        self.tree = vec![0; new_len];
+        let marks: Vec<usize> = self.last.values().copied().collect();
+        for t in marks {
+            self.update(t, 1);
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, mut i: usize, delta: i32) {
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    #[inline]
+    fn prefix(&self, mut i: usize) -> u32 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Convenience: a stack-distance tracker feeding a histogram.
+#[derive(Debug, Clone, Default)]
+pub struct ReuseAnalyzer {
+    stack: StackDistance,
+    histogram: ReuseHistogram,
+}
+
+impl ReuseAnalyzer {
+    /// Creates an analyzer that grows as needed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an analyzer pre-sized for `n` accesses.
+    pub fn with_capacity(n: usize) -> Self {
+        ReuseAnalyzer {
+            stack: StackDistance::with_capacity(n),
+            histogram: ReuseHistogram::new(),
+        }
+    }
+
+    /// Records an access to `key`.
+    #[inline]
+    pub fn access(&mut self, key: u64) {
+        let d = self.stack.access(key);
+        self.histogram.record(d);
+    }
+
+    /// The accumulated histogram.
+    pub fn histogram(&self) -> &ReuseHistogram {
+        &self.histogram
+    }
+
+    /// Number of distinct keys observed (the footprint in elements).
+    pub fn distinct(&self) -> usize {
+        self.stack.distinct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n²) reference implementation: distinct elements since last access.
+    fn naive_distances(keys: &[u64]) -> Vec<Option<u64>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            let prev = keys[..i].iter().rposition(|&p| p == k);
+            out.push(prev.map(|p| {
+                let mut set = std::collections::HashSet::new();
+                for &mid in &keys[p + 1..i] {
+                    set.insert(mid);
+                }
+                set.len() as u64
+            }));
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_random_stream() {
+        // Deterministic pseudo-random keys.
+        let mut x = 12345u64;
+        let keys: Vec<u64> = (0..500)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) % 40
+            })
+            .collect();
+        let expected = naive_distances(&keys);
+        let mut s = StackDistance::new();
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(s.access(k), expected[i], "mismatch at access {i}");
+        }
+    }
+
+    #[test]
+    fn sequential_scan_is_all_cold() {
+        let mut s = StackDistance::new();
+        for k in 0..100 {
+            assert_eq!(s.access(k), None);
+        }
+        assert_eq!(s.distinct(), 100);
+    }
+
+    #[test]
+    fn repeated_scan_distance_equals_working_set() {
+        let mut s = StackDistance::new();
+        for k in 0..10 {
+            s.access(k);
+        }
+        for k in 0..10 {
+            assert_eq!(s.access(k), Some(9), "cyclic scan reuse distance");
+        }
+    }
+
+    #[test]
+    fn growth_preserves_correctness() {
+        // Start tiny and force several regrowths.
+        let mut s = StackDistance::with_capacity(2);
+        let keys: Vec<u64> = (0..3000).map(|i| i % 7).collect();
+        let expected = naive_distances(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(s.access(k), expected[i], "mismatch at access {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1 << 22), 22);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_cdf_monotone_and_bounded() {
+        let mut h = ReuseHistogram::new();
+        for d in [0u64, 1, 1, 3, 9, 100, 5000] {
+            h.record(Some(d));
+        }
+        h.record(None);
+        h.record(None);
+        let mut prev = 0.0;
+        for b in 0..NUM_BUCKETS {
+            let c = h.cdf(b);
+            assert!(c >= prev && c <= 1.0);
+            prev = c;
+        }
+        // Cold accesses keep the CDF below 1.
+        assert!((h.cdf(NUM_BUCKETS - 1) - 7.0 / 9.0).abs() < 1e-12);
+        assert!((h.cold_fraction() - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_bucket_finds_median() {
+        let mut h = ReuseHistogram::new();
+        for _ in 0..10 {
+            h.record(Some(1)); // bucket 0
+        }
+        for _ in 0..10 {
+            h.record(Some(1000)); // bucket 10
+        }
+        assert_eq!(h.quantile_bucket(0.5), 0);
+        assert_eq!(h.quantile_bucket(0.9), 10);
+        assert_eq!(h.quantile_bucket(1.1), NUM_BUCKETS);
+    }
+
+    #[test]
+    fn analyzer_combines_stack_and_histogram() {
+        let mut a = ReuseAnalyzer::new();
+        for _ in 0..3 {
+            for k in 0..4 {
+                a.access(k);
+            }
+        }
+        assert_eq!(a.distinct(), 4);
+        assert_eq!(a.histogram().total(), 12);
+        assert_eq!(a.histogram().cold(), 4);
+        // Warm accesses all have distance 3 -> bucket 2.
+        assert!((a.histogram().pdf(2) - 8.0 / 12.0).abs() < 1e-12);
+    }
+}

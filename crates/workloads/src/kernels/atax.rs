@@ -1,0 +1,86 @@
+//! `atax` — matrix transpose and vector multiplication (PolyBench).
+//!
+//! Computes `y = Aᵀ(Ax)`. The first pass streams the rows of `A` against a
+//! reused vector `x` (cache-friendly); the second pass walks `A` by
+//! *columns* for the transpose product (strided, cache-hostile). The paper
+//! calls atax a boundary case for NMC suitability for exactly this reason
+//! (Section 3.4, fifth observation).
+
+use napel_ir::{Emitter, MultiTrace};
+
+use crate::kernels::layout::{array_base, mat, vec};
+use crate::kernels::{caps, chunk};
+use crate::Scale;
+
+/// Generates the atax trace. `params = [dimensions, threads]`.
+pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+    let n = scale.dim(params[0], caps::MIN_DIM, caps::QUADRATIC);
+    let threads = scale.threads(params[1]);
+    let a = array_base(0);
+    let x = array_base(1);
+    let y = array_base(2);
+    let tmp = array_base(3);
+
+    let mut trace = MultiTrace::new(threads);
+    for t in 0..threads {
+        let mut e = Emitter::new(trace.thread_sink(t));
+        // Pass 1: tmp[i] = A[i][:] . x  (row streaming, x reused).
+        for i in chunk(n, threads, t) {
+            let mut acc = e.imm(0);
+            for j in 0..n {
+                let idx = e.addr_calc(1, acc);
+                let aij = e.load_indexed(2, mat(a, n, i, j), 8, idx);
+                let xj = e.load(3, vec(x, j), 8);
+                acc = e.fma(4, acc, aij, xj);
+                e.branch(6);
+            }
+            e.store(7, vec(tmp, i), 8, acc);
+        }
+        // Pass 2: y[j] += A[i][j] * tmp[i], walking columns of A.
+        for j in chunk(n, threads, t) {
+            let mut acc = e.load(8, vec(y, j), 8);
+            for i in 0..n {
+                let idx = e.addr_calc(9, acc);
+                let aij = e.load_indexed(10, mat(a, n, i, j), 8, idx); // stride n*8
+                let ti = e.load(11, vec(tmp, i), 8);
+                acc = e.fma(12, acc, aij, ti);
+                e.branch(14);
+            }
+            e.store(15, vec(y, j), 8, acc);
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_count_scales_quadratically() {
+        let small = generate(&[500.0, 1.0], Scale::laptop());
+        let large = generate(&[2000.0, 1.0], Scale::laptop());
+        let ratio = large.total_insts() as f64 / small.total_insts() as f64;
+        assert!(
+            (10.0..=22.0).contains(&ratio),
+            "4x dimension should give ~16x instructions, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn work_splits_across_threads() {
+        let t4 = generate(&[1500.0, 4.0], Scale::laptop());
+        assert_eq!(t4.num_threads(), 4);
+        let per: Vec<usize> = t4.iter().map(|t| t.len()).collect();
+        let (min, max) = (per.iter().min().unwrap(), per.iter().max().unwrap());
+        assert!(*max as f64 / *min as f64 * 1.0 < 1.2, "imbalanced: {per:?}");
+    }
+
+    #[test]
+    fn total_work_is_thread_invariant() {
+        let t1 = generate(&[1500.0, 1.0], Scale::laptop());
+        let t8 = generate(&[1500.0, 8.0], Scale::laptop());
+        let ratio = t8.total_insts() as f64 / t1.total_insts() as f64;
+        assert!((0.95..=1.05).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,104 @@
+//! `bp` — back-propagation neural-network training (Rodinia).
+//!
+//! One hidden layer of fixed width trained against a wide input layer
+//! (*Layer Size*). Forward and backward passes stream the large weight
+//! matrix with read-modify-write updates — memory-intensive with a
+//! footprint far beyond any cache, which is why the paper finds bp a good
+//! NMC fit. *Seed* initializes the (invisible-to-the-trace) weight values;
+//! it perturbs only the training-data ordering here.
+
+use napel_ir::{Emitter, MultiTrace};
+
+use crate::kernels::chunk;
+use crate::kernels::layout::{array_base, mat, vec};
+use crate::rng::SplitMix64;
+use crate::Scale;
+
+/// Hidden-layer width of the Rodinia kernel configuration.
+const HIDDEN: u64 = 4;
+
+/// Generates the bp trace. `params = [layer_size, seed, threads, iterations]`.
+pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+    let layer = scale.data_large(params[0], 128, 1 << 24);
+    let seed = params[1].max(0.0) as u64;
+    let threads = scale.threads(params[2]);
+    let iterations = scale.iters(params[3]).min(2);
+
+    let w1 = array_base(0); // HIDDEN x layer weights
+    let input = array_base(1);
+    let hidden = array_base(2);
+    let delta = array_base(3);
+
+    let mut trace = MultiTrace::new(threads);
+    for t in 0..threads {
+        let mut e = Emitter::new(trace.thread_sink(t));
+        let mut order = SplitMix64::new(seed.wrapping_mul(0x9E37) ^ t as u64);
+        for _ in 0..iterations {
+            // Input presentation order depends on the seed (jittered start).
+            let offset = order.below(layer.max(1));
+            // Forward: hidden[h] += w1[h][i] * input[i], walking input units
+            // in the outer loop as the Rodinia kernel does. With the weight
+            // matrix laid out `[hidden][input]`, consecutive inner-loop
+            // accesses stride by a full input row — multi-megabyte strides
+            // no prefetcher tracks.
+            let mut accs: Vec<_> = (0..HIDDEN).map(|_| e.imm(0)).collect();
+            for i in chunk(layer, threads, t) {
+                let ii = (i + offset) % layer;
+                let xv = e.load(1, vec(input, ii), 8);
+                for h in 0..HIDDEN {
+                    let wv = e.load(2, mat(w1, layer, h, ii), 8);
+                    accs[h as usize] = e.fma(3, accs[h as usize], wv, xv);
+                }
+                e.branch(5);
+            }
+            for h in 0..HIDDEN {
+                e.store(6, vec(hidden, h), 8, accs[h as usize]);
+            }
+            // Backward: w1[h][i] += eta * delta[h] * input[i] (strided RMW).
+            let deltas: Vec<_> = (0..HIDDEN).map(|h| e.load(7, vec(delta, h), 8)).collect();
+            for i in chunk(layer, threads, t) {
+                let ii = (i + offset) % layer;
+                let xv = e.load(9, vec(input, ii), 8);
+                for h in 0..HIDDEN {
+                    let wv = e.load(8, mat(w1, layer, h, ii), 8);
+                    let upd = e.fma(10, wv, deltas[h as usize], xv);
+                    e.store(12, mat(w1, layer, h, ii), 8, upd);
+                }
+                e.branch(13);
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_ir::Opcode;
+
+    #[test]
+    fn layer_size_drives_work() {
+        let small = generate(&[800e3, 5.0, 1.0, 3.0], Scale::laptop());
+        let big = generate(&[4e6, 5.0, 1.0, 3.0], Scale::laptop());
+        assert!(big.total_insts() > 3 * small.total_insts());
+    }
+
+    #[test]
+    fn stores_stream_through_weights() {
+        let t = generate(&[1e6, 5.0, 1.0, 1.0], Scale::laptop());
+        let stores: usize = t.iter().map(|tr| tr.count_op(Opcode::Store)).sum();
+        let loads: usize = t.iter().map(|tr| tr.count_op(Opcode::Load)).sum();
+        // Forward: 1 input + HIDDEN weight loads per unit; backward adds
+        // 1 + HIDDEN loads and HIDDEN stores -> ratio (2H+2)/H = 2.5.
+        let ratio = loads as f64 / stores as f64;
+        assert!((2.0..3.0).contains(&ratio), "load/store ratio {ratio}");
+    }
+
+    #[test]
+    fn seed_changes_presentation_order_not_volume() {
+        let a = generate(&[1e6, 2.0, 2.0, 3.0], Scale::tiny());
+        let b = generate(&[1e6, 12.0, 2.0, 3.0], Scale::tiny());
+        assert_eq!(a.total_insts(), b.total_insts());
+        assert_ne!(a, b, "different seeds must shift the access phase");
+    }
+}

@@ -1,0 +1,96 @@
+//! `chol` — Cholesky decomposition (PolyBench).
+//!
+//! Left-looking factorization over a *column-major* matrix (the layout of
+//! the LAPACK-style codes the paper's suite derives from): updating column
+//! `k` reads all previously factored columns with stride-`n` walks, giving
+//! chol the irregular, cache-hostile behavior that makes it NMC-suitable
+//! in the paper's Figure 7.
+
+use napel_ir::{Emitter, MultiTrace};
+
+use crate::kernels::layout::{array_base, mat};
+use crate::kernels::{caps, chunk};
+use crate::Scale;
+
+/// Generates the chol trace. `params = [dimensions, threads, iterations]`.
+pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+    let n = scale.dim(params[0], caps::MIN_DIM, caps::CUBIC);
+    let threads = scale.threads(params[1]);
+    let iterations = scale.iters(params[2]);
+    let a = array_base(0);
+
+    let mut trace = MultiTrace::new(threads);
+    for t in 0..threads {
+        let mut e = Emitter::new(trace.thread_sink(t));
+        for _ in 0..iterations {
+            for k in 0..n {
+                // Diagonal: A[k][k] = sqrt(A[k][k] - sum_j A[k][j]^2),
+                // reading row k up to the diagonal (one thread owns it).
+                if chunk(n, threads, t).contains(&k) {
+                    let mut acc = e.load(0, mat(a, n, k, k), 8);
+                    for j in 0..k {
+                        let v = e.load(1, mat(a, n, j, k), 8);
+                        acc = e.fma(2, acc, v, v);
+                        e.branch(4);
+                    }
+                    let one = e.imm(5);
+                    let d = e.fdiv(6, acc, one); // sqrt-class op
+                    e.store(7, mat(a, n, k, k), 8, d);
+                }
+                // Column update: A[i][k] = (A[i][k] - sum_j A[i][j]A[k][j]) / d
+                // for i > k, chunked. The A[i][k] walk is stride-n.
+                for i in chunk(n, threads, t) {
+                    if i <= k {
+                        continue;
+                    }
+                    let mut acc = e.load(8, mat(a, n, k, i), 8); // column access
+                    for j in 0..k {
+                        let aij = e.load(9, mat(a, n, j, i), 8);
+                        let akj = e.load(10, mat(a, n, j, k), 8);
+                        acc = e.fma(11, acc, aij, akj);
+                        e.branch(13);
+                    }
+                    let dk = e.load(14, mat(a, n, k, k), 8);
+                    let r = e.fdiv(15, acc, dk);
+                    e.store(16, mat(a, n, k, i), 8, r); // column store
+                    e.branch(17);
+                }
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_scales_cubically() {
+        let small = generate(&[128.0, 1.0, 10.0], Scale::laptop());
+        let big = generate(&[512.0, 1.0, 10.0], Scale::laptop());
+        let ratio = big.total_insts() as f64 / small.total_insts() as f64;
+        assert!(ratio > 20.0, "4x dim should give ~64x work, got {ratio}");
+    }
+
+    #[test]
+    fn contains_divide_operations() {
+        use napel_ir::Opcode;
+        let t = generate(&[320.0, 2.0, 10.0], Scale::laptop());
+        let divs: usize = t.iter().map(|tr| tr.count_op(Opcode::FpDiv)).sum();
+        assert!(divs > 0, "factorization needs divides/sqrts");
+    }
+
+    #[test]
+    fn iterations_repeat_the_sweep() {
+        // Uncompressed iteration counts (max_iters = MAX) with a small dim.
+        let s = Scale {
+            dim_div: 32,
+            data_div: 512,
+            max_iters: u64::MAX,
+        };
+        let once = generate(&[320.0, 1.0, 10.0], s);
+        let thrice = generate(&[320.0, 1.0, 30.0], s);
+        assert!(thrice.total_insts() > 2 * once.total_insts());
+    }
+}

@@ -1,0 +1,87 @@
+//! `gesu` — scalar, vector, and matrix multiplication (PolyBench
+//! `gesummv`).
+//!
+//! `y = α·A·x + β·B·x`: two matrices streamed row-major against a reused
+//! vector — like gemv, a locality-rich host-friendly kernel in Figure 7.
+
+use napel_ir::{Emitter, MultiTrace};
+
+use crate::kernels::layout::{array_base, mat, vec};
+use crate::kernels::{caps, chunk};
+use crate::Scale;
+
+/// Generates the gesummv trace. `params = [dimensions, threads, iterations]`.
+pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+    let n = scale.dim(params[0], caps::MIN_DIM, caps::QUADRATIC);
+    let threads = scale.threads(params[1]);
+    let iterations = scale.iters(params[2]);
+
+    let a = array_base(0);
+    let b = array_base(1);
+    let x = array_base(2);
+    let y = array_base(3);
+
+    let mut trace = MultiTrace::new(threads);
+    for t in 0..threads {
+        let mut e = Emitter::new(trace.thread_sink(t));
+        for _ in 0..iterations {
+            for i in chunk(n, threads, t) {
+                let mut acc_a = e.imm(0);
+                let mut acc_b = e.imm(1);
+                for j in 0..n {
+                    let xj = e.load(2, vec(x, j), 8);
+                    let aij = e.load(3, mat(a, n, i, j), 8);
+                    acc_a = e.fma(4, acc_a, aij, xj);
+                    let bij = e.load(6, mat(b, n, i, j), 8);
+                    acc_b = e.fma(7, acc_b, bij, xj);
+                    e.branch(9);
+                }
+                // y[i] = alpha * acc_a + beta * acc_b.
+                let alpha = e.imm(10);
+                let beta = e.imm(11);
+                let pa = e.fmul(12, alpha, acc_a);
+                let pb = e.fmul(13, beta, acc_b);
+                let s = e.fadd(14, pa, pb);
+                e.store(15, vec(y, i), 8, s);
+                e.branch(16);
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_ir::Opcode;
+
+    #[test]
+    fn two_matrices_per_inner_iteration() {
+        let t = generate(&[750.0, 1.0, 10.0], Scale::laptop());
+        let loads: usize = t.iter().map(|tr| tr.count_op(Opcode::Load)).sum();
+        let fmuls: usize = t.iter().map(|tr| tr.count_op(Opcode::FpMul)).sum();
+        // 3 loads (x, A, B) per inner iteration, 2 fma-muls.
+        assert!((loads as f64 / fmuls as f64 - 1.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn work_scales_with_dim_squared() {
+        let small = generate(&[500.0, 1.0, 10.0], Scale::laptop());
+        let big = generate(&[2250.0, 1.0, 10.0], Scale::laptop());
+        assert!(big.total_insts() > 10 * small.total_insts());
+    }
+
+    #[test]
+    fn x_vector_is_heavily_reused() {
+        use std::collections::HashMap;
+        let t = generate(&[750.0, 1.0, 10.0], Scale::laptop());
+        let mut x_touches: HashMap<u64, u32> = HashMap::new();
+        for i in t.thread(0).iter() {
+            if i.op == Opcode::Load && i.addr >= array_base(2) && i.addr < array_base(3) {
+                *x_touches.entry(i.addr).or_default() += 1;
+            }
+        }
+        let max = x_touches.values().max().copied().unwrap_or(0);
+        assert!(max > 10, "x elements are read once per row, reuse {max}");
+    }
+}

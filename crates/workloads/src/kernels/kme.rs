@@ -1,0 +1,129 @@
+//! `kme` — k-means clustering (Rodinia `kmeans`).
+//!
+//! Each iteration streams all points (8 features each) and computes
+//! distances to every centroid. The kernel is emitted in the
+//! register-blocked form an optimizing compiler produces for a
+//! scratchpad-less PIM core: centroids and partial accumulators are loaded
+//! into registers once per 64-point block, so the dominant traffic is the
+//! never-reused point stream — a working set of megabytes that dwarfs the
+//! host cache hierarchy, which is what makes kme NMC-suitable in Figure 7.
+
+use napel_ir::{Emitter, MultiTrace, Reg};
+
+use crate::kernels::chunk;
+use crate::kernels::layout::{array_base, mat, vec};
+use crate::Scale;
+
+/// Features per point (Rodinia's kdd_cup-style configuration, truncated).
+const FEATURES: u64 = 8;
+
+/// Points per register block.
+const BLOCK: u64 = 64;
+
+/// Generates the kmeans trace.
+/// `params = [data_size, clusters, threads, iterations]`.
+pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+    let points = scale.data_large(params[0], 64, 1 << 24);
+    let clusters = (params[1].max(1.0) as u64).min(64);
+    let threads = scale.threads(params[2]);
+    let iterations = scale.iters(params[3]).min(2);
+
+    let feat = array_base(0); // points x FEATURES
+    let cent = array_base(1); // clusters x FEATURES
+    let assign = array_base(2); // points
+    let accum = array_base(3); // clusters x FEATURES partial sums
+
+    let mut trace = MultiTrace::new(threads);
+    for t in 0..threads {
+        let mut e = Emitter::new(trace.thread_sink(t));
+        for _ in 0..iterations {
+            let my = chunk(points, threads, t);
+            let mut block_start = my.start;
+            while block_start < my.end {
+                let block_end = (block_start + BLOCK).min(my.end);
+                // Hoist centroids into registers for the block.
+                let mut cregs: Vec<Reg> = Vec::with_capacity((clusters * FEATURES) as usize);
+                for c in 0..clusters {
+                    for f in 0..FEATURES {
+                        cregs.push(e.load(0, mat(cent, FEATURES, c, f), 8));
+                    }
+                }
+                for p in block_start..block_end {
+                    // Stream the point's features (sequential, one line).
+                    let mut fv = Vec::with_capacity(FEATURES as usize);
+                    for f in 0..FEATURES {
+                        fv.push(e.load(1, mat(feat, FEATURES, p, f), 8));
+                    }
+                    // Distance to each centroid, min-tracking with a
+                    // data-dependent branch.
+                    let mut best = e.imm(2);
+                    for c in 0..clusters {
+                        let mut dist = e.imm(3);
+                        for f in 0..FEATURES {
+                            let cv = cregs[(c * FEATURES + f) as usize];
+                            let d = e.fadd(4, fv[f as usize], cv);
+                            dist = e.fma(5, dist, d, d);
+                        }
+                        let cmp = e.cmp(7, dist, best);
+                        e.branch_on(8, cmp);
+                        best = dist;
+                    }
+                    e.store(9, vec(assign, p), 8, best);
+                    e.branch(10);
+                }
+                // Flush the block's partial sums (read-modify-write).
+                for c in 0..clusters {
+                    for f in 0..FEATURES {
+                        let acc = e.load(11, mat(accum, FEATURES, c, f), 8);
+                        let upd = e.fadd(12, acc, cregs[(c * FEATURES + f) as usize]);
+                        e.store(13, mat(accum, FEATURES, c, f), 8, upd);
+                    }
+                }
+                block_start = block_end;
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_scales_with_points_and_clusters() {
+        let base = generate(&[300e3, 5.0, 1.0, 10.0], Scale::laptop());
+        let more_points = generate(&[1.2e6, 5.0, 1.0, 10.0], Scale::laptop());
+        let more_clusters = generate(&[300e3, 8.0, 1.0, 10.0], Scale::laptop());
+        assert!(more_points.total_insts() > 3 * base.total_insts());
+        assert!(more_clusters.total_insts() > base.total_insts());
+    }
+
+    #[test]
+    fn point_stream_dominates_loads() {
+        use napel_ir::Opcode;
+        let t = generate(&[100e3, 5.0, 1.0, 10.0], Scale::laptop());
+        let mut point_loads = 0usize;
+        let mut centroid_loads = 0usize;
+        for i in t.thread(0).iter() {
+            if i.op == Opcode::Load {
+                if (array_base(0)..array_base(1)).contains(&i.addr) {
+                    point_loads += 1;
+                } else if (array_base(1)..array_base(2)).contains(&i.addr) {
+                    centroid_loads += 1;
+                }
+            }
+        }
+        assert!(
+            point_loads > 10 * centroid_loads,
+            "blocking must hoist centroid loads: {point_loads} vs {centroid_loads}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&[700e3, 6.0, 2.0, 30.0], Scale::tiny());
+        let b = generate(&[700e3, 6.0, 2.0, 30.0], Scale::tiny());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,143 @@
+//! Kernel trace generators, one module per Table 2 application.
+//!
+//! Every kernel follows the same conventions:
+//!
+//! - arrays live at fixed, well-separated base addresses
+//!   ([`layout::array_base`]) and hold 8-byte elements,
+//! - the outermost parallel loop is chunked contiguously across the
+//!   `Threads` parameter ([`chunk`]), one software thread per
+//!   [`napel_ir::MultiTrace`] lane,
+//! - loop nests emit the instruction overhead a compiler would produce:
+//!   address calculation, the data loads/stores, the arithmetic with real
+//!   dependences, and a loop-control branch per iteration,
+//! - static `pc` values are small constants, distinct per emission site, so
+//!   instruction-reuse analysis sees a realistic tiny code footprint.
+//!
+//! Loop orders (row-major vs column-strided) follow the access patterns the
+//! paper's Figure 7 discussion attributes to each benchmark: e.g.
+//! Gram–Schmidt and Cholesky walk columns (irregular for the host cache
+//! hierarchy) while syrk/trmm/lu walk rows with heavy reuse.
+
+pub mod atax;
+pub mod bfs;
+pub mod bp;
+pub mod chol;
+pub mod gemv;
+pub mod gesu;
+pub mod gram;
+pub mod kme;
+pub mod lu;
+pub mod mvt;
+pub mod syrk;
+pub mod trmm;
+
+use napel_ir::MultiTrace;
+
+use crate::{Scale, Workload};
+
+/// Dispatches generation to the kernel module.
+pub(crate) fn generate(w: Workload, params: &[f64], scale: Scale) -> MultiTrace {
+    match w {
+        Workload::Atax => atax::generate(params, scale),
+        Workload::Bfs => bfs::generate(params, scale),
+        Workload::Bp => bp::generate(params, scale),
+        Workload::Chol => chol::generate(params, scale),
+        Workload::Gemv => gemv::generate(params, scale),
+        Workload::Gesu => gesu::generate(params, scale),
+        Workload::Gram => gram::generate(params, scale),
+        Workload::Kme => kme::generate(params, scale),
+        Workload::Lu => lu::generate(params, scale),
+        Workload::Mvt => mvt::generate(params, scale),
+        Workload::Syrk => syrk::generate(params, scale),
+        Workload::Trmm => trmm::generate(params, scale),
+    }
+}
+
+/// Address-space layout shared by all kernels.
+pub(crate) mod layout {
+    /// Base byte address of array slot `i` (256 MiB apart).
+    pub const fn array_base(slot: u64) -> u64 {
+        0x1000_0000 + slot * 0x1000_0000
+    }
+
+    /// Address of element `[i][j]` of a row-major `_ × cols` matrix.
+    #[inline]
+    pub fn mat(base: u64, cols: u64, i: u64, j: u64) -> u64 {
+        base + 8 * (i * cols + j)
+    }
+
+    /// Address of element `[i]` of a vector.
+    #[inline]
+    pub fn vec(base: u64, i: u64) -> u64 {
+        base + 8 * i
+    }
+}
+
+/// The contiguous chunk of `0..n` owned by thread `t` of `threads`.
+pub(crate) fn chunk(n: u64, threads: usize, t: usize) -> std::ops::Range<u64> {
+    let threads = threads as u64;
+    let t = t as u64;
+    let base = n / threads;
+    let rem = n % threads;
+    let start = t * base + t.min(rem);
+    let len = base + u64::from(t < rem);
+    start..(start + len)
+}
+
+/// Caps for dimension scaling by kernel complexity class.
+pub(crate) mod caps {
+    /// O(n²) kernels: generous cap.
+    pub const QUADRATIC: u64 = 512;
+    /// O(n³) kernels: tight cap so the test configuration stays bounded.
+    pub const CUBIC: u64 = 128;
+    /// Minimum effective dimension.
+    pub const MIN_DIM: u64 = 6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_the_range() {
+        for n in [0u64, 1, 7, 100, 101] {
+            for threads in [1usize, 2, 3, 8, 33] {
+                let mut covered = 0u64;
+                let mut prev_end = 0u64;
+                for t in 0..threads {
+                    let r = chunk(n, threads, t);
+                    assert_eq!(r.start, prev_end, "chunks must be contiguous");
+                    prev_end = r.end;
+                    covered += r.end - r.start;
+                }
+                assert_eq!(prev_end, n);
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        for t in 0..8 {
+            let r = chunk(100, 8, t);
+            let len = r.end - r.start;
+            assert!((12..=13).contains(&len));
+        }
+    }
+
+    #[test]
+    fn array_bases_do_not_overlap() {
+        for i in 0..8u64 {
+            let a = layout::array_base(i);
+            let b = layout::array_base(i + 1);
+            assert!(b - a >= 0x1000_0000);
+        }
+    }
+
+    #[test]
+    fn matrix_addressing_is_row_major() {
+        let b = layout::array_base(0);
+        assert_eq!(layout::mat(b, 100, 0, 1) - layout::mat(b, 100, 0, 0), 8);
+        assert_eq!(layout::mat(b, 100, 1, 0) - layout::mat(b, 100, 0, 0), 800);
+    }
+}

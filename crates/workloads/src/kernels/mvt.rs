@@ -1,0 +1,98 @@
+//! `mvt` — matrix-vector product and transpose (PolyBench).
+//!
+//! `x1 += A·y1` followed by `x2 += Aᵀ·y2`. To keep both passes row-major
+//! (the blocked form PolyBench compilers produce), the transpose pass
+//! accumulates into `x2[j]` while streaming rows — vector-reuse-heavy,
+//! host-friendly traffic (Figure 7 places mvt on the host side).
+
+use napel_ir::{Emitter, MultiTrace};
+
+use crate::kernels::layout::{array_base, mat, vec};
+use crate::kernels::{caps, chunk};
+use crate::Scale;
+
+/// Generates the mvt trace. `params = [dimensions, threads, iterations]`.
+pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+    let n = scale.dim(params[0], caps::MIN_DIM, caps::QUADRATIC);
+    let threads = scale.threads(params[1]);
+    let iterations = scale.iters(params[2]);
+
+    let a = array_base(0);
+    let x1 = array_base(1);
+    let y1 = array_base(2);
+    let x2 = array_base(3);
+    let y2 = array_base(4);
+
+    let mut trace = MultiTrace::new(threads);
+    for t in 0..threads {
+        let mut e = Emitter::new(trace.thread_sink(t));
+        for _ in 0..iterations {
+            // x1[i] += A[i][:] . y1.
+            for i in chunk(n, threads, t) {
+                let mut acc = e.load(0, vec(x1, i), 8);
+                for j in 0..n {
+                    let aij = e.load(1, mat(a, n, i, j), 8);
+                    let yj = e.load(2, vec(y1, j), 8);
+                    acc = e.fma(3, acc, aij, yj);
+                    e.branch(5);
+                }
+                e.store(6, vec(x1, i), 8, acc);
+            }
+            // x2[j] += A[i][j] * y2[i], row-major accumulation into x2.
+            for i in chunk(n, threads, t) {
+                let yi = e.load(7, vec(y2, i), 8);
+                for j in 0..n {
+                    let aij = e.load(8, mat(a, n, i, j), 8);
+                    let xj = e.load(9, vec(x2, j), 8);
+                    let upd = e.fma(10, xj, aij, yi);
+                    e.store(12, vec(x2, j), 8, upd);
+                    e.branch(13);
+                }
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_matrix_sweeps_per_iteration() {
+        use napel_ir::Opcode;
+        let s = Scale {
+            dim_div: 16,
+            data_div: 256,
+            max_iters: u64::MAX,
+        };
+        let t = generate(&[1250.0, 1.0, 1.0], s);
+        let n = s.dim(1250.0, caps::MIN_DIM, caps::QUADRATIC);
+        let a_loads = t
+            .thread(0)
+            .iter()
+            .filter(|i| i.op == Opcode::Load && i.addr < array_base(1))
+            .count() as u64;
+        assert_eq!(a_loads, 2 * n * n);
+    }
+
+    #[test]
+    fn iterations_multiply_work() {
+        let s = Scale {
+            dim_div: 16,
+            data_div: 256,
+            max_iters: u64::MAX,
+        };
+        let one = generate(&[750.0, 1.0, 10.0], s);
+        let many = generate(&[750.0, 1.0, 60.0], s);
+        let ratio = many.total_insts() as f64 / one.total_insts() as f64;
+        assert!((5.0..7.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn threads_partition_work() {
+        let t = generate(&[1250.0, 16.0, 30.0], Scale::laptop());
+        assert_eq!(t.num_threads(), 16);
+        assert!(t.iter().all(|tr| !tr.is_empty()));
+    }
+}

@@ -1,0 +1,87 @@
+//! `trmm` — triangular matrix multiplication (PolyBench).
+//!
+//! `B = A·B` with `A` lower-triangular, in the `ikj` order: the innermost
+//! loop streams a row of `B` while `A[i][k]` stays in a register — regular,
+//! prefetch-friendly row traffic (host-friendly in Figure 7).
+
+use napel_ir::{Emitter, MultiTrace};
+
+use crate::kernels::layout::{array_base, mat};
+use crate::kernels::{caps, chunk};
+use crate::Scale;
+
+/// Generates the trmm trace. `params = [dim_i, dim_j, threads]`.
+pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+    let ni = scale.dim(params[0], caps::MIN_DIM, caps::CUBIC);
+    let nj = scale.dim(params[1], caps::MIN_DIM, caps::CUBIC);
+    let threads = scale.threads(params[2]);
+
+    let a = array_base(0); // ni x ni, lower triangular
+    let b = array_base(1); // ni x nj
+
+    let mut trace = MultiTrace::new(threads);
+    for t in 0..threads {
+        let mut e = Emitter::new(trace.thread_sink(t));
+        for i in chunk(ni, threads, t) {
+            for k in 0..i {
+                let aik = e.load(0, mat(a, ni, i, k), 8);
+                // Row update: B[i][:] += A[i][k] * B[k][:] (two row streams).
+                for j in 0..nj {
+                    let bkj = e.load(1, mat(b, nj, k, j), 8);
+                    let bij = e.load(2, mat(b, nj, i, j), 8);
+                    let upd = e.fma(3, bij, aik, bkj);
+                    e.store(5, mat(b, nj, i, j), 8, upd);
+                    e.branch(6);
+                }
+                e.branch(7);
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_ir::Opcode;
+
+    #[test]
+    fn inner_streams_are_row_major() {
+        let t = generate(&[320.0, 320.0, 1.0], Scale::laptop());
+        let stores: Vec<u64> = t
+            .thread(0)
+            .iter()
+            .filter(|i| i.op == Opcode::Store)
+            .map(|i| i.addr)
+            .collect();
+        let seq = stores.windows(2).filter(|w| w[1] == w[0] + 8).count();
+        assert!(
+            seq as f64 / stores.len() as f64 > 0.8,
+            "row-major stores: {}/{}",
+            seq,
+            stores.len()
+        );
+    }
+
+    #[test]
+    fn triangular_structure_skips_upper_half() {
+        // Row 0 has no k < i work, the last row the most.
+        let s = Scale {
+            dim_div: 16,
+            data_div: 256,
+            max_iters: u64::MAX,
+        };
+        let t = generate(&[320.0, 320.0, 2.0], s);
+        // Thread 0 owns the low rows (less work), thread 1 the high rows.
+        assert!(t.thread(1).len() > 2 * t.thread(0).len());
+    }
+
+    #[test]
+    fn work_scales_with_both_dims() {
+        let base = generate(&[256.0, 256.0, 1.0], Scale::laptop());
+        let more_i = generate(&[512.0, 256.0, 1.0], Scale::laptop());
+        let more_j = generate(&[256.0, 512.0, 1.0], Scale::laptop());
+        assert!(more_i.total_insts() > 2 * base.total_insts());
+        assert!(more_j.total_insts() > base.total_insts());
+    }
+}

@@ -1,0 +1,218 @@
+//! The twelve evaluated kernels of Table 2, as dynamic-IR trace generators.
+//!
+//! The paper evaluates NAPEL on PolyBench and Rodinia kernels (atax, bfs,
+//! back-propagation, Cholesky, gemver, gesummv, Gram–Schmidt, k-means, LU,
+//! mvt, syrk, trmm). The original benchmarks are C programs instrumented
+//! with an LLVM pass; here each kernel is a Rust loop nest that *executes
+//! the same algorithm shape* and emits the dynamic instruction stream an
+//! IR-level instrumentation would observe (loads/stores with real
+//! addresses, dependent arithmetic, loop-control overhead).
+//!
+//! Each workload carries its Table 2 parameter definitions verbatim —
+//! five DoE levels plus the *test* input — via [`WorkloadSpec`].
+//!
+//! # Scaling
+//!
+//! The paper's DoE simulations take 522–1084 minutes per application on a
+//! server (Table 4); a laptop-scale reproduction shrinks the inputs by a
+//! documented, monotone mapping ([`Scale`]) that preserves the *relative*
+//! ordering of DoE levels and the qualitative memory behavior of each
+//! kernel (see `DESIGN.md`). `Scale::unit()` disables shrinking.
+//!
+//! # Example
+//!
+//! ```
+//! use napel_workloads::{Scale, Workload};
+//!
+//! let spec = Workload::Atax.spec();
+//! assert_eq!(spec.params[0].levels, [500.0, 1250.0, 1500.0, 2000.0, 2300.0]);
+//!
+//! // Generate the central DoE configuration at tiny scale.
+//! let params = spec.central_values();
+//! let trace = Workload::Atax.generate(&params, Scale::tiny());
+//! assert!(trace.total_insts() > 0);
+//! ```
+
+mod kernels;
+mod rng;
+mod scale;
+mod spec;
+
+pub use scale::Scale;
+pub use spec::{ParamInfo, WorkloadSpec};
+
+use napel_ir::MultiTrace;
+
+/// The twelve applications evaluated in the paper, in Table 2 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Workload {
+    /// Matrix transpose and vector multiplication (PolyBench `atax`).
+    Atax,
+    /// Breadth-first search (Rodinia `bfs`).
+    Bfs,
+    /// Back-propagation neural-network training (Rodinia `backprop`).
+    Bp,
+    /// Cholesky decomposition (PolyBench `cholesky`).
+    Chol,
+    /// Vector multiplication and matrix addition (PolyBench `gemver`).
+    Gemv,
+    /// Scalar, vector and matrix multiplication (PolyBench `gesummv`).
+    Gesu,
+    /// Gram–Schmidt orthogonalization (PolyBench `gramschmidt`).
+    Gram,
+    /// K-means clustering (Rodinia `kmeans`).
+    Kme,
+    /// LU decomposition (PolyBench `lu`).
+    Lu,
+    /// Matrix-vector product and transpose (PolyBench `mvt`).
+    Mvt,
+    /// Symmetric rank-k update (PolyBench `syrk`).
+    Syrk,
+    /// Triangular matrix multiplication (PolyBench `trmm`).
+    Trmm,
+}
+
+impl Workload {
+    /// All workloads in Table 2 order.
+    pub const ALL: [Workload; 12] = [
+        Workload::Atax,
+        Workload::Bfs,
+        Workload::Bp,
+        Workload::Chol,
+        Workload::Gemv,
+        Workload::Gesu,
+        Workload::Gram,
+        Workload::Kme,
+        Workload::Lu,
+        Workload::Mvt,
+        Workload::Syrk,
+        Workload::Trmm,
+    ];
+
+    /// Short name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Atax => "atax",
+            Workload::Bfs => "bfs",
+            Workload::Bp => "bp",
+            Workload::Chol => "chol",
+            Workload::Gemv => "gemv",
+            Workload::Gesu => "gesu",
+            Workload::Gram => "gram",
+            Workload::Kme => "kme",
+            Workload::Lu => "lu",
+            Workload::Mvt => "mvt",
+            Workload::Syrk => "syrk",
+            Workload::Trmm => "trmm",
+        }
+    }
+
+    /// Looks a workload up by its short name.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == name)
+    }
+
+    /// The Table 2 specification (parameters, levels, test input).
+    pub fn spec(self) -> WorkloadSpec {
+        spec::spec_of(self)
+    }
+
+    /// Executes the kernel with the given parameter values (in
+    /// [`WorkloadSpec::params`] order) and emits its dynamic trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the spec's parameter count.
+    pub fn generate(self, params: &[f64], scale: Scale) -> MultiTrace {
+        let spec = self.spec();
+        assert_eq!(
+            params.len(),
+            spec.params.len(),
+            "{} takes {} parameters",
+            self.name(),
+            spec.params.len()
+        );
+        kernels::generate(self, params, scale)
+    }
+
+    /// Generates the paper's *test* configuration (last column of Table 2).
+    pub fn generate_test(self, scale: Scale) -> MultiTrace {
+        let spec = self.spec();
+        let params: Vec<f64> = spec.params.iter().map(|p| p.test).collect();
+        self.generate(&params, scale)
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads_with_unique_names() {
+        assert_eq!(Workload::ALL.len(), 12);
+        let mut names = std::collections::HashSet::new();
+        for w in Workload::ALL {
+            assert!(names.insert(w.name()));
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("nope"), None);
+    }
+
+    #[test]
+    fn doe_parameter_counts_match_table4() {
+        // Table 4 design sizes: 11 = k2, 19 = k3, 31 = k4.
+        let expected = [
+            (Workload::Atax, 2),
+            (Workload::Bfs, 4),
+            (Workload::Bp, 4),
+            (Workload::Chol, 3),
+            (Workload::Gemv, 3),
+            (Workload::Gesu, 3),
+            (Workload::Gram, 3),
+            (Workload::Kme, 4),
+            (Workload::Lu, 3),
+            (Workload::Mvt, 3),
+            (Workload::Syrk, 3),
+            (Workload::Trmm, 3),
+        ];
+        for (w, k) in expected {
+            assert_eq!(w.spec().params.len(), k, "{w}");
+        }
+    }
+
+    #[test]
+    fn every_workload_generates_at_central_point() {
+        for w in Workload::ALL {
+            let spec = w.spec();
+            let t = w.generate(&spec.central_values(), Scale::tiny());
+            assert!(t.total_insts() > 100, "{w} produced a trivial trace");
+            assert!(t.num_threads() >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 parameters")]
+    fn wrong_arity_panics() {
+        let _ = Workload::Atax.generate(&[1.0], Scale::tiny());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for w in [Workload::Bfs, Workload::Kme, Workload::Bp] {
+            let p = w.spec().central_values();
+            let a = w.generate(&p, Scale::tiny());
+            let b = w.generate(&p, Scale::tiny());
+            assert_eq!(
+                a.total_insts(),
+                b.total_insts(),
+                "{w} must be deterministic"
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests over all twelve kernel generators.
+
+use proptest::prelude::*;
+
+use napel_workloads::{Scale, Workload};
+
+fn any_workload() -> impl Strategy<Value = Workload> {
+    (0..Workload::ALL.len()).prop_map(|i| Workload::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn thread_parameter_controls_lane_count(w in any_workload(), threads in 1u32..48) {
+        let spec = w.spec();
+        let mut params = spec.central_values();
+        params[spec.threads_index()] = f64::from(threads);
+        let t = w.generate(&params, Scale::tiny());
+        prop_assert_eq!(t.num_threads(), threads as usize);
+    }
+
+    #[test]
+    fn total_work_is_roughly_thread_invariant(w in any_workload(), threads in 2u32..32) {
+        let spec = w.spec();
+        let mut params = spec.central_values();
+        params[spec.threads_index()] = 1.0;
+        let single = w.generate(&params, Scale::tiny()).total_insts();
+        params[spec.threads_index()] = f64::from(threads);
+        let multi = w.generate(&params, Scale::tiny()).total_insts();
+        let ratio = multi as f64 / single as f64;
+        // Parallelization adds per-thread loop overhead (and a few kernels
+        // replicate small shared phases), but the work must not explode or
+        // vanish with the thread count.
+        prop_assert!(
+            (0.5..=3.0).contains(&ratio),
+            "{w}: {threads} threads changed work by {ratio} ({single} -> {multi})"
+        );
+    }
+
+    #[test]
+    fn traces_are_well_formed(w in any_workload()) {
+        use napel_ir::Opcode;
+        let t = w.generate(&w.spec().central_values(), Scale::tiny());
+        for inst in t.interleaved() {
+            match inst.op {
+                Opcode::Load | Opcode::Store => {
+                    prop_assert!(inst.mem_addr().is_some(), "{w}: memory op without address");
+                    prop_assert!(inst.size > 0, "{w}: zero-size access");
+                }
+                _ => prop_assert!(inst.mem_addr().is_none(), "{w}: compute op with address"),
+            }
+        }
+    }
+
+    #[test]
+    fn memory_ops_are_a_sane_fraction(w in any_workload()) {
+        use napel_ir::Opcode;
+        let t = w.generate(&w.spec().central_values(), Scale::tiny());
+        let total = t.total_insts() as f64;
+        let mem: usize = t
+            .iter()
+            .map(|tr| tr.count_op(Opcode::Load) + tr.count_op(Opcode::Store))
+            .sum();
+        let frac = mem as f64 / total;
+        // Every kernel moves data, none is a pure copy loop.
+        prop_assert!((0.05..=0.8).contains(&frac), "{w}: memory fraction {frac}");
+    }
+
+    #[test]
+    fn test_configuration_is_substantial(w in any_workload()) {
+        // Table 2 test inputs sit in (or beyond) the DoE range — e.g. bp's
+        // test layer (1.1m) is *below* its central level (2m) — so the only
+        // universal invariant is that the test trace dominates the
+        // minimum-level run.
+        let spec = w.spec();
+        let minimal: Vec<f64> = spec.params.iter().map(|p| p.levels[0]).collect();
+        let floor = w.generate(&minimal, Scale::tiny()).total_insts();
+        let test = w.generate_test(Scale::tiny()).total_insts();
+        prop_assert!(
+            test as f64 >= floor as f64 * 0.8,
+            "{w}: test trace ({test}) below the minimum-level run ({floor})"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Inspect the microarchitecture-independent profile of any workload —
+//! the 360-odd features the LLVM-analysis phase of NAPEL produces.
+//!
+//! Run with `cargo run --release --example profile_explorer [workload]`
+//! (default: bfs). Prints the instruction mix, ILP curve, reuse-distance
+//! CDF and footprint, plus the most NMC-telling features.
+
+use napel::pisa::{feature_names, ApplicationProfile};
+use napel::workloads::{Scale, Workload};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bfs".to_string());
+    let workload = Workload::from_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`; options: atax bfs bp chol gemv gesu gram kme lu mvt syrk trmm"));
+
+    let scale = Scale::tiny();
+    let params = workload.spec().central_values();
+    println!("profiling {workload} at its central configuration {params:?}...\n");
+    let trace = workload.generate(&params, scale);
+    let profile = ApplicationProfile::of(&trace);
+
+    println!("dynamic instructions : {}", trace.total_insts());
+    println!("software threads     : {}", profile.value("threads"));
+    println!();
+
+    println!("instruction mix:");
+    for class in ["int", "fp", "mem_read", "mem_write", "control", "other"] {
+        let v = profile.value(&format!("mix.class.{class}"));
+        println!("  {class:<10} {:>5.1}%  {}", v * 100.0, bar(v));
+    }
+    println!();
+
+    println!("ILP by scheduling window:");
+    for w in ["w32", "w64", "w128", "w256", "inf"] {
+        println!("  {w:<5} {:>7.2}", profile.value(&format!("ilp.{w}")));
+    }
+    println!();
+
+    println!("data reuse CDF (64B lines, capacity = 2^b lines):");
+    for b in [0usize, 2, 4, 6, 8, 10, 12, 14] {
+        let v = profile.value(&format!("reuse.line64.all.cdf.b{b}"));
+        println!("  2^{b:<3} {:>5.1}%  {}", v * 100.0, bar(v));
+    }
+    println!();
+
+    println!(
+        "cold-access fraction : {:.1}%",
+        profile.value("reuse.elem.all.cold") * 100.0
+    );
+    println!(
+        "memory footprint     : {:.0} KiB",
+        (2f64.powf(profile.value("footprint.log2_total_bytes")) - 1.0) / 1024.0
+    );
+    println!("total profile features: {}", feature_names().len());
+}
+
+fn bar(v: f64) -> String {
+    "#".repeat((v * 40.0).round() as usize)
+}

@@ -1,0 +1,63 @@
+//! Dump a workload's dynamic trace to disk and replay it — the
+//! trace-once / simulate-many workflow of a real trace-driven toolchain
+//! (the paper's Pin → Ramulator flow).
+//!
+//! Run with `cargo run --release --example trace_dump -- [workload]`
+//! (default: mvt).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use napel::ir::io::{read_trace, write_trace};
+use napel::sim::{ArchConfig, NmcSystem, RowPolicy};
+use napel::workloads::{Scale, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mvt".to_string());
+    let workload =
+        Workload::from_name(&name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+
+    let params = workload.spec().central_values();
+    println!("generating {workload} at {params:?}...");
+    let trace = workload.generate(&params, Scale::tiny());
+    println!(
+        "  {} instructions across {} threads",
+        trace.total_insts(),
+        trace.num_threads()
+    );
+
+    let path = std::env::temp_dir().join(format!("napel_{name}.trc"));
+    write_trace(&trace, BufWriter::new(File::create(&path)?))?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "dumped to {} ({:.1} MiB)",
+        path.display(),
+        bytes as f64 / (1 << 20) as f64
+    );
+
+    println!("replaying from disk against two architectures...");
+    let restored = read_trace(BufReader::new(File::open(&path)?))?;
+    assert_eq!(restored.total_insts(), trace.total_insts());
+
+    for (label, arch) in [
+        ("table-3 (closed row)", ArchConfig::paper_default()),
+        (
+            "open row",
+            ArchConfig {
+                row_policy: RowPolicy::Open,
+                ..ArchConfig::paper_default()
+            },
+        ),
+    ] {
+        let r = NmcSystem::new(arch).run(&restored);
+        println!(
+            "  {label:<22} IPC {:.3}  time {:.3e} s  energy {:.3e} J",
+            r.ipc(),
+            r.exec_time_seconds(),
+            r.energy_joules()
+        );
+    }
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

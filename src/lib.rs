@@ -1,0 +1,27 @@
+//! NAPEL — Near-Memory Computing Application Performance Prediction via
+//! Ensemble Learning (DAC 2019) — full reproduction facade.
+//!
+//! This crate re-exports every subsystem of the reproduction under one roof
+//! so examples and downstream users can depend on a single crate:
+//!
+//! - [`ir`] — dynamic instruction IR, traces, emitter
+//! - [`workloads`] — the 12 evaluated kernels (Table 2) emitting IR traces
+//! - [`pisa`] — microarchitecture-independent profiling (395-feature profile)
+//! - [`sim`] — trace-driven NMC simulator (Ramulator-PIM analog)
+//! - [`hostmodel`] — analytic POWER9-class host time/energy model
+//! - [`doe`] — central composite design and baseline samplers
+//! - [`ml`] — random forest, MLP, model tree, CV, tuning
+//! - [`core`] — the NAPEL pipeline, accuracy analysis, EDP use case
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`, or the crate-level docs of [`core`].
+
+pub use napel_core as core;
+pub use napel_doe as doe;
+pub use napel_hostmodel as hostmodel;
+pub use napel_ir as ir;
+pub use napel_ml as ml;
+pub use napel_pisa as pisa;
+pub use napel_workloads as workloads;
+pub use nmc_sim as sim;

@@ -1,0 +1,123 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! workload configuration, not just the Table 2 points.
+
+use proptest::prelude::*;
+
+use napel::pisa::ApplicationProfile;
+use napel::sim::{ArchConfig, NmcSystem};
+use napel::workloads::{Scale, Workload};
+
+/// A strategy over (workload, in-range parameter values).
+fn workload_and_params() -> impl Strategy<Value = (Workload, Vec<f64>)> {
+    (0..Workload::ALL.len()).prop_flat_map(|i| {
+        let w = Workload::ALL[i];
+        let spec = w.spec();
+        let ranges: Vec<_> = spec
+            .params
+            .iter()
+            .map(|p| p.levels[0]..=p.levels[4])
+            .collect();
+        (Just(w), ranges).prop_map(|(w, params)| (w, params))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_configuration_produces_a_finite_profile((w, params) in workload_and_params()) {
+        let trace = w.generate(&params, Scale::tiny());
+        prop_assert!(trace.total_insts() > 0, "{w} emitted nothing for {params:?}");
+        let profile = ApplicationProfile::of(&trace);
+        prop_assert_eq!(profile.values().len(), napel::pisa::feature_names().len());
+        for (name, v) in napel::pisa::feature_names().iter().zip(profile.values()) {
+            prop_assert!(v.is_finite(), "{} non-finite for {} {:?}", name, w, params);
+        }
+        // Mix fractions are probabilities.
+        for class in ["int", "fp", "mem_read", "mem_write", "control", "other"] {
+            let f = profile.value(&format!("mix.class.{class}"));
+            prop_assert!((0.0..=1.0).contains(&f), "{class} fraction {f}");
+        }
+    }
+
+    #[test]
+    fn any_configuration_simulates_sanely((w, params) in workload_and_params()) {
+        let trace = w.generate(&params, Scale::tiny());
+        let report = NmcSystem::new(ArchConfig::paper_default()).run(&trace);
+        prop_assert_eq!(report.instructions, trace.total_insts() as u64);
+        prop_assert!(report.cycles > 0);
+        // IPC can never exceed the number of single-issue PEs.
+        prop_assert!(report.ipc() <= 32.0 + 1e-9, "ipc {}", report.ipc());
+        prop_assert!(report.energy_joules() > 0.0);
+        // DRAM reads exactly cover cache fills; writes cover write-backs.
+        prop_assert_eq!(report.dram.reads, report.dcache.misses());
+        prop_assert_eq!(report.dram.writes, report.dcache.writebacks);
+    }
+
+    #[test]
+    fn scaling_dimension_parameters_up_never_shrinks_work(
+        which in 0..Workload::ALL.len(),
+        lo in 0.0f64..=0.4,
+        hi in 0.6f64..=1.0,
+    ) {
+        let w = Workload::ALL[which];
+        let spec = w.spec();
+        // Interpolate every parameter between its min and max levels.
+        let at = |t: f64| -> Vec<f64> {
+            spec.params
+                .iter()
+                .map(|p| p.levels[0] + t * (p.levels[4] - p.levels[0]))
+                .collect()
+        };
+        let small = w.generate(&at(lo), Scale::tiny());
+        let large = w.generate(&at(hi), Scale::tiny());
+        prop_assert!(
+            large.total_insts() >= small.total_insts(),
+            "{w}: work decreased from {} to {} when all params grew",
+            small.total_insts(),
+            large.total_insts()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn simulated_time_scales_down_with_frequency(freq in 0.5f64..4.0) {
+        let trace = Workload::Atax.generate(&[700.0, 4.0], Scale::tiny());
+        let base = NmcSystem::new(ArchConfig::paper_default()).run(&trace);
+        let scaled = NmcSystem::new(ArchConfig { freq_ghz: freq, ..ArchConfig::paper_default() })
+            .run(&trace);
+        // Same cycle count (timing params are in cycles), different seconds.
+        prop_assert_eq!(base.cycles, scaled.cycles);
+        let expect = base.exec_time_seconds() * ArchConfig::paper_default().freq_ghz / freq;
+        prop_assert!((scaled.exec_time_seconds() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forest_prediction_stays_within_label_range(seed in 0u64..1000) {
+        use napel::ml::dataset::Dataset;
+        use napel::ml::forest::RandomForestParams;
+        use napel::ml::{Estimator, Regressor};
+        use rand::{rngs::StdRng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Dataset::builder(vec!["x".into(), "y".into()]);
+        use rand::Rng;
+        for _ in 0..30 {
+            let x: f64 = rng.gen_range(-5.0..5.0);
+            let y: f64 = rng.gen_range(-5.0..5.0);
+            b.push_row(vec![x, y], x * y + x).expect("row");
+        }
+        let data = b.build().expect("data");
+        let model = RandomForestParams { num_trees: 15, ..Default::default() }
+            .fit(&data, &mut rng)
+            .expect("fit");
+        let (lo, hi) = data.target_range();
+        for probe in [[-10.0, -10.0], [0.0, 0.0], [100.0, 3.0]] {
+            let p = model.predict_one(&probe);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+}
