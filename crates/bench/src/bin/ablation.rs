@@ -7,9 +7,10 @@ use napel_workloads::Workload;
 
 fn main() {
     let opts = Options::from_env();
+    let exec = opts.executor();
 
     eprintln!("running sampler ablation ({:?})...", opts.scale);
-    let samplers = ablation::sampler_ablation(&Workload::ALL, opts.scale, opts.seed)
+    let samplers = ablation::sampler_ablation_with(&Workload::ALL, opts.scale, opts.seed, &exec)
         .expect("sampler ablation");
 
     eprintln!("running forest-size sweep...");
@@ -19,15 +20,15 @@ fn main() {
         opts.scale,
         opts.seed,
     );
-    let sweep = ablation::forest_size_sweep(&set, &[10, 30, 60, 120, 240], opts.seed)
+    let sweep = ablation::forest_size_sweep_with(&set, &[10, 30, 60, 120, 240], opts.seed, &exec)
         .expect("forest sweep");
 
     println!("Ablations: training-point sampler and forest size\n");
     print!("{}", ablation::render(&samplers, &sweep));
 
     eprintln!("running feature-screening ablation...");
-    let screening =
-        ablation::screening_ablation(&set, &[10, 30, 100], opts.seed).expect("screening");
+    let screening = ablation::screening_ablation_with(&set, &[10, 30, 100], opts.seed, &exec)
+        .expect("screening");
     println!("\nFeature screening (top-k by permutation importance):");
     for p in &screening {
         let kept = if p.kept == usize::MAX {

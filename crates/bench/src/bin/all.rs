@@ -6,23 +6,24 @@ use napel_workloads::Workload;
 
 fn main() {
     let opts = Options::from_env();
+    let exec = opts.executor();
     println!("== Table 2 ==\n{}", table2::render());
     println!("== Table 3 ==\n{}", table3::render(opts.scale));
 
     eprintln!("collecting training data ({:?})...", opts.scale);
-    let ctx = Context::build(opts.scale, opts.seed);
+    let ctx = Context::build_with(opts.scale, opts.seed, &exec);
     let cfg = opts.napel_config();
 
     eprintln!("table 4...");
-    let t4 = table4::run(&ctx, &cfg).expect("table 4");
+    let t4 = table4::run_with(&ctx, &cfg, &exec).expect("table 4");
     println!("== Table 4 ==\n{}", table4::render(&t4));
 
     eprintln!("figure 4...");
-    let f4 = fig4::run(&ctx, &cfg, opts.configs).expect("fig 4");
+    let f4 = fig4::run_with(&ctx, &cfg, opts.configs, &exec).expect("fig 4");
     println!("== Figure 4 ==\n{}", fig4::render(&f4));
 
     eprintln!("figure 5...");
-    let f5 = fig5::run(&ctx).expect("fig 5");
+    let f5 = fig5::run_with(&ctx, &exec).expect("fig 5");
     println!("== Figure 5 ==\n{}", fig5::render(&f5));
 
     eprintln!("figure 6...");
@@ -30,6 +31,6 @@ fn main() {
     println!("== Figure 6 ==\n{}", fig6::render(&f6));
 
     eprintln!("figure 7...");
-    let f7 = fig7::run(&ctx, &cfg).expect("fig 7");
+    let f7 = fig7::run_with(&ctx, &cfg, &exec).expect("fig 7");
     println!("== Figure 7 ==\n{}", fig7::render(&f7));
 }

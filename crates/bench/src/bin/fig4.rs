@@ -6,10 +6,11 @@ use napel_core::experiments::{fig4, Context};
 
 fn main() {
     let opts = Options::from_env();
+    let exec = opts.executor();
     eprintln!("collecting training data ({:?})...", opts.scale);
-    let ctx = Context::build(opts.scale, opts.seed);
+    let ctx = Context::build_with(opts.scale, opts.seed, &exec);
     eprintln!("timing {} configurations per application...", opts.configs);
-    let rows = fig4::run(&ctx, &opts.napel_config(), opts.configs).expect("fig 4 run");
+    let rows = fig4::run_with(&ctx, &opts.napel_config(), opts.configs, &exec).expect("fig 4 run");
     println!("Figure 4: prediction speedup over the simulator (increasing order)\n");
     print!("{}", fig4::render(&rows));
 }

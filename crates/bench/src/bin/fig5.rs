@@ -6,10 +6,11 @@ use napel_core::experiments::{fig5, Context};
 
 fn main() {
     let opts = Options::from_env();
+    let exec = opts.executor();
     eprintln!("collecting training data ({:?})...", opts.scale);
-    let ctx = Context::build(opts.scale, opts.seed);
+    let ctx = Context::build_with(opts.scale, opts.seed, &exec);
     eprintln!("running leave-one-application-out comparisons...");
-    let result = fig5::run(&ctx).expect("fig 5 run");
+    let result = fig5::run_with(&ctx, &exec).expect("fig 5 run");
     println!("Figure 5: mean relative error, performance (a) and energy (b)\n");
     print!("{}", fig5::render(&result));
 }

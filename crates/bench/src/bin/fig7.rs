@@ -6,10 +6,11 @@ use napel_core::experiments::{fig7, Context};
 
 fn main() {
     let opts = Options::from_env();
+    let exec = opts.executor();
     eprintln!("collecting training data ({:?})...", opts.scale);
-    let ctx = Context::build(opts.scale, opts.seed);
+    let ctx = Context::build_with(opts.scale, opts.seed, &exec);
     eprintln!("running the NMC-suitability analysis...");
-    let result = fig7::run(&ctx, &opts.napel_config()).expect("fig 7 run");
+    let result = fig7::run_with(&ctx, &opts.napel_config(), &exec).expect("fig 7 run");
     println!("Figure 7: EDP reduction of NMC offloading vs host execution\n");
     print!("{}", fig7::render(&result));
 }

@@ -7,10 +7,11 @@ use napel_core::experiments::{table4, Context};
 
 fn main() {
     let opts = Options::from_env();
+    let exec = opts.executor();
     eprintln!("collecting training data ({:?})...", opts.scale);
-    let ctx = Context::build(opts.scale, opts.seed);
+    let ctx = Context::build_with(opts.scale, opts.seed, &exec);
     eprintln!("running per-application timings...");
-    let rows = table4::run(&ctx, &opts.napel_config()).expect("table 4 run");
+    let rows = table4::run_with(&ctx, &opts.napel_config(), &exec).expect("table 4 run");
     println!("Table 4: DoE configurations and training/prediction time\n");
     print!("{}", table4::render(&rows));
 }

@@ -5,10 +5,14 @@
 //! - `--scale laptop|tiny|unit` — workload input scale (default `laptop`),
 //! - `--quick` — skip hyper-parameter tuning (single forest configuration),
 //! - `--seed N` — RNG seed (default 25019, "DAC 2019"),
-//! - `--configs N` — architecture configurations for Figure 4 (default 256).
+//! - `--configs N` — architecture configurations for Figure 4 (default 256),
+//! - `--jobs N|auto` — campaign worker threads (default: the `NAPEL_JOBS`
+//!   environment variable, falling back to serial). Parallelism never
+//!   changes results, only wall-clock time.
 //!
 //! Run them as `cargo run --release -p napel-bench --bin fig5 -- --quick`.
 
+use napel_core::campaign::AnyExecutor;
 use napel_core::model::NapelConfig;
 use napel_workloads::Scale;
 
@@ -23,6 +27,8 @@ pub struct Options {
     pub seed: u64,
     /// Figure 4 architecture-configuration count.
     pub configs: usize,
+    /// Campaign worker threads (`--jobs`); `None` defers to `NAPEL_JOBS`.
+    pub jobs: Option<String>,
 }
 
 impl Default for Options {
@@ -32,6 +38,7 @@ impl Default for Options {
             quick: false,
             seed: 25019,
             configs: 256,
+            jobs: None,
         }
     }
 }
@@ -72,6 +79,9 @@ impl Options {
                         .parse()
                         .expect("--configs must be an integer");
                 }
+                "--jobs" => {
+                    opts.jobs = Some(args.next().expect("--jobs needs a value (N or `auto`)"));
+                }
                 other => panic!("unknown flag `{other}`"),
             }
         }
@@ -81,6 +91,16 @@ impl Options {
     /// Parses from the process arguments.
     pub fn from_env() -> Options {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// The campaign executor implied by the options: `--jobs` wins,
+    /// otherwise the `NAPEL_JOBS` environment variable (serial by
+    /// default).
+    pub fn executor(&self) -> AnyExecutor {
+        match &self.jobs {
+            Some(spec) => AnyExecutor::from_spec(spec),
+            None => AnyExecutor::from_env(),
+        }
     }
 
     /// The NAPEL training configuration implied by the options.
@@ -125,11 +145,16 @@ mod tests {
             "7",
             "--configs",
             "16",
+            "--jobs",
+            "2",
         ]);
         assert_eq!(o.scale, Scale::tiny());
         assert!(o.quick);
         assert_eq!(o.seed, 7);
         assert_eq!(o.configs, 16);
+        assert_eq!(o.jobs.as_deref(), Some("2"));
+        use napel_core::campaign::Executor;
+        assert_eq!(o.executor().workers(), 2);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use nmc_sim::{ArchConfig, NmcSystem};
 
 use napel_hostmodel::HostModel;
 
+use crate::campaign::{AnyExecutor, Executor};
 use crate::features::TrainingSet;
 use crate::model::{Napel, NapelConfig};
 use crate::NapelError;
@@ -35,10 +36,28 @@ pub struct LoaoResult {
 ///
 /// Returns [`NapelError`] if the set holds fewer than two applications or
 /// an estimator fails to fit.
-pub fn loao_accuracy<E: Estimator>(
+pub fn loao_accuracy<E: Estimator + Sync>(
     estimator: &E,
     set: &TrainingSet,
     seed: u64,
+) -> Result<Vec<LoaoResult>, NapelError> {
+    loao_accuracy_with(estimator, set, seed, &AnyExecutor::from_env())
+}
+
+/// [`loao_accuracy`] with an explicit executor: the folds — one per
+/// application — form one job batch, each fold re-seeding its own RNG
+/// from `seed`, so results are identical for any executor and worker
+/// count.
+///
+/// # Errors
+///
+/// Returns [`NapelError`] if the set holds fewer than two applications or
+/// an estimator fails to fit.
+pub fn loao_accuracy_with<E: Estimator + Sync, X: Executor>(
+    estimator: &E,
+    set: &TrainingSet,
+    seed: u64,
+    exec: &X,
 ) -> Result<Vec<LoaoResult>, NapelError> {
     let workloads = set.workloads();
     if workloads.len() < 2 {
@@ -46,8 +65,7 @@ pub fn loao_accuracy<E: Estimator>(
             what: "leave-one-application-out needs at least two applications".into(),
         });
     }
-    let mut out = Vec::with_capacity(workloads.len());
-    for &held_out in &workloads {
+    let folds = exec.map(&workloads, |_, &held_out| {
         let train = set.filtered(|w| w != held_out);
         let test = set.filtered(|w| w == held_out);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -68,13 +86,13 @@ pub fn loao_accuracy<E: Estimator>(
             .collect();
         let energy_actual: Vec<f64> = test.runs.iter().map(|r| r.energy_per_inst_pj).collect();
 
-        out.push(LoaoResult {
+        Ok(LoaoResult {
             workload: held_out,
             perf_mre: mean_relative_error(&perf_pred, &perf_actual),
             energy_mre: mean_relative_error(&energy_pred, &energy_actual),
-        });
-    }
-    Ok(out)
+        })
+    });
+    folds.into_iter().collect()
 }
 
 /// Mean over per-application MREs.
@@ -146,9 +164,25 @@ pub fn nmc_suitability(
     arch: &ArchConfig,
     scale: Scale,
 ) -> Result<Vec<SuitabilityRow>, NapelError> {
+    nmc_suitability_with(set, config, arch, scale, &AnyExecutor::from_env())
+}
+
+/// [`nmc_suitability`] with an explicit executor: one job per held-out
+/// application (train-without, predict, simulate, host-model), results in
+/// workload order for any executor.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn nmc_suitability_with<X: Executor>(
+    set: &TrainingSet,
+    config: &NapelConfig,
+    arch: &ArchConfig,
+    scale: Scale,
+    exec: &X,
+) -> Result<Vec<SuitabilityRow>, NapelError> {
     let host = HostModel::power9(scale);
-    let mut rows = Vec::new();
-    for held_out in set.workloads() {
+    let rows = exec.map(&set.workloads(), |_, &held_out| {
         let train = set.filtered(|w| w != held_out);
         let trained = Napel::new(config.clone()).train(&train)?;
 
@@ -160,7 +194,7 @@ pub fn nmc_suitability(
         let report = NmcSystem::new(arch.clone()).run(&trace);
         let host_report = host.evaluate(&profile);
 
-        rows.push(SuitabilityRow {
+        Ok(SuitabilityRow {
             workload: held_out,
             host_time_s: host_report.exec_time_seconds,
             host_energy_j: host_report.energy_joules,
@@ -168,9 +202,9 @@ pub fn nmc_suitability(
             nmc_pred_energy_j: pred.energy_joules(instructions),
             nmc_actual_time_s: report.exec_time_seconds(),
             nmc_actual_energy_j: report.energy_joules(),
-        });
-    }
-    Ok(rows)
+        })
+    });
+    rows.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -198,6 +232,19 @@ mod tests {
             assert!(r.perf_mre.is_finite() && r.perf_mre >= 0.0);
             assert!(r.energy_mre.is_finite() && r.energy_mre >= 0.0);
         }
+    }
+
+    #[test]
+    fn loao_folds_are_executor_independent() {
+        use crate::campaign::{Serial, Threaded};
+        let set = small_set();
+        let est = RandomForestParams::default();
+        let serial = loao_accuracy_with(&est, &set, 7, &Serial).unwrap();
+        let threaded = loao_accuracy_with(&est, &set, 7, &Threaded::new(3)).unwrap();
+        assert_eq!(
+            serial, threaded,
+            "folds re-seed per fold; executor must not matter"
+        );
     }
 
     #[test]

@@ -1,0 +1,575 @@
+//! The campaign engine — job-based, parallel, deterministic execution of
+//! simulation campaigns.
+//!
+//! Phase ② of the pipeline (and several analysis protocols built on it)
+//! reduces to the same shape: a batch of independent units of work whose
+//! results must come back *in a fixed order* so that downstream training
+//! and rendering are reproducible. This module factors that shape out:
+//!
+//! - [`SimJob`] describes one unit of phase-② work — a workload × DoE
+//!   point × architecture configuration at a given [`Scale`]. Jobs carry
+//!   their batch index, so results can be assembled deterministically no
+//!   matter which worker computed them.
+//! - [`Executor`] abstracts *how* a batch runs: [`Serial`] in the calling
+//!   thread, or [`Threaded`] across scoped worker threads that pull jobs
+//!   from a shared atomic cursor. Both produce results in item order —
+//!   the parallel output is **identical** to the serial output (enforced
+//!   by test), because every job is a pure function of its descriptor and
+//!   timing side-channels are kept out of the labeled data.
+//! - [`ProfileCache`] shares the expensive trace generation + PISA
+//!   profiling between all jobs of the same `(workload, point, scale)`,
+//!   so simulating N architecture configurations costs one kernel
+//!   analysis, exactly once, even under concurrency.
+//! - [`AnyExecutor::from_env`] selects the executor from the `NAPEL_JOBS`
+//!   environment variable, so every driver binary and library entry point
+//!   gains a uniform parallelism knob.
+//!
+//! What is (and is not) deterministic: the labeled rows — workload,
+//! parameters, features, instruction counts, IPC and energy labels — and
+//! their order are bit-identical across executors and worker counts. The
+//! wall-clock fields of [`CollectStats`] are measurements and naturally
+//! vary run to run; under a threaded executor they sum per-phase CPU time
+//! across workers, not elapsed time.
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use napel_pisa::ApplicationProfile;
+use napel_workloads::{Scale, Workload};
+use nmc_sim::{ArchConfig, NmcSystem};
+
+use crate::collect::{doe_points, CollectionPlan};
+use crate::features::{CollectStats, LabeledRun};
+
+// The engine moves these across thread boundaries; keep the contract
+// explicit so an accidental `Rc`/`RefCell` in a substrate crate fails
+// here, at the point of use, with a readable error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimJob>();
+    assert_send_sync::<ProfiledPoint>();
+    assert_send_sync::<LabeledRun>();
+    assert_send_sync::<CollectStats>();
+    assert_send_sync::<crate::features::TrainingSet>();
+    assert_send_sync::<crate::NapelError>();
+};
+
+/// One unit of phase-② work: simulate one workload at one DoE point on
+/// one architecture configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimJob {
+    /// Position of this job in its batch; results are assembled in index
+    /// order regardless of which worker ran the job.
+    pub index: usize,
+    /// The application.
+    pub workload: Workload,
+    /// The application-input configuration (spec order).
+    pub coords: Vec<f64>,
+    /// The architecture to simulate on.
+    pub arch: ArchConfig,
+    /// Input-shrinking policy.
+    pub scale: Scale,
+}
+
+/// Strategy for running a batch of independent work items.
+///
+/// `map` must call `f` exactly once per item and return the results in
+/// item order — that ordering contract is what makes campaigns
+/// executor-independent. The trait is implemented by [`Serial`],
+/// [`Threaded`] and [`AnyExecutor`]; functions that run campaigns accept
+/// `&impl Executor`.
+pub trait Executor {
+    /// Applies `f` to every item, returning results in item order.
+    fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync;
+
+    /// Number of worker threads this executor uses (1 for serial).
+    fn workers(&self) -> usize;
+}
+
+/// Runs every job in the calling thread, in order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Serial;
+
+impl Executor for Serial {
+    fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+    }
+
+    fn workers(&self) -> usize {
+        1
+    }
+}
+
+/// Runs jobs on scoped worker threads pulling from a shared atomic
+/// cursor.
+///
+/// Each worker claims the next unclaimed index with a `fetch_add`, runs
+/// it, and records `(index, result)` locally; after all workers join, the
+/// results are placed into their slots, so the output order equals
+/// [`Serial`]'s. No job queue is allocated and no channels are involved —
+/// the batch slice itself is the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threaded {
+    workers: NonZeroUsize,
+}
+
+impl Threaded {
+    /// An executor with `workers` threads (floored at 1).
+    pub fn new(workers: usize) -> Self {
+        Threaded {
+            workers: NonZeroUsize::new(workers.max(1)).expect("max(1) is non-zero"),
+        }
+    }
+
+    /// An executor sized to the machine (`available_parallelism`, or 1 if
+    /// that cannot be determined).
+    pub fn auto() -> Self {
+        Threaded {
+            workers: std::thread::available_parallelism()
+                .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero")),
+        }
+    }
+}
+
+impl Executor for Threaded {
+    fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.workers.get().min(items.len());
+        if workers <= 1 {
+            return Serial.map(items, f);
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => {
+                        for (i, r) in local {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    // Re-raise a worker panic in the caller, as serial
+                    // execution would.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("cursor claims every index exactly once"))
+            .collect()
+    }
+
+    fn workers(&self) -> usize {
+        self.workers.get()
+    }
+}
+
+/// A runtime-selected executor; see [`AnyExecutor::from_env`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnyExecutor {
+    /// In-thread execution.
+    Serial(Serial),
+    /// Scoped worker threads.
+    Threaded(Threaded),
+}
+
+impl AnyExecutor {
+    /// The serial executor.
+    pub fn serial() -> Self {
+        AnyExecutor::Serial(Serial)
+    }
+
+    /// An executor with `jobs` workers: `0` means size to the machine,
+    /// `1` is serial, anything larger is threaded.
+    pub fn with_jobs(jobs: usize) -> Self {
+        match jobs {
+            0 => AnyExecutor::Threaded(Threaded::auto()),
+            1 => AnyExecutor::Serial(Serial),
+            n => AnyExecutor::Threaded(Threaded::new(n)),
+        }
+    }
+
+    /// Selects the executor from the `NAPEL_JOBS` environment variable:
+    ///
+    /// - unset or empty → [`Serial`] (the default stays single-threaded
+    ///   and dependency-free),
+    /// - `auto` or `0` → [`Threaded`] sized to the machine,
+    /// - `1` → [`Serial`],
+    /// - `N` → [`Threaded`] with `N` workers.
+    ///
+    /// Unparsable values fall back to serial rather than aborting a long
+    /// campaign over a typo.
+    pub fn from_env() -> Self {
+        match std::env::var("NAPEL_JOBS") {
+            Ok(spec) => Self::from_spec(&spec),
+            Err(_) => Self::serial(),
+        }
+    }
+
+    /// Parses a `NAPEL_JOBS`-style specification (see [`Self::from_env`]).
+    pub fn from_spec(spec: &str) -> Self {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Self::serial();
+        }
+        if spec.eq_ignore_ascii_case("auto") {
+            return Self::with_jobs(0);
+        }
+        match spec.parse::<usize>() {
+            Ok(n) => Self::with_jobs(n),
+            Err(_) => Self::serial(),
+        }
+    }
+}
+
+impl Executor for AnyExecutor {
+    fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        match self {
+            AnyExecutor::Serial(e) => e.map(items, f),
+            AnyExecutor::Threaded(e) => e.map(items, f),
+        }
+    }
+
+    fn workers(&self) -> usize {
+        match self {
+            AnyExecutor::Serial(e) => e.workers(),
+            AnyExecutor::Threaded(e) => e.workers(),
+        }
+    }
+}
+
+/// Cache key: one kernel analysis per distinct (workload, scale, point).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProfileKey {
+    workload: Workload,
+    scale: (u32, u32, u64),
+    // Coordinates by bit pattern: DoE points are produced, not computed
+    // with, so bitwise identity is the right notion of "same point".
+    coord_bits: Vec<u64>,
+}
+
+impl ProfileKey {
+    fn of(job: &SimJob) -> Self {
+        ProfileKey {
+            workload: job.workload,
+            scale: (job.scale.dim_div, job.scale.data_div, job.scale.max_iters),
+            coord_bits: job.coords.iter().map(|c| c.to_bits()).collect(),
+        }
+    }
+}
+
+/// The shared, hardware-independent part of a job's work: the generated
+/// trace and its PISA profile, plus how long each took.
+#[derive(Debug)]
+pub struct ProfiledPoint {
+    /// The instruction trace of the workload at this point.
+    pub trace: napel_ir::MultiTrace,
+    /// The PISA application profile of that trace.
+    pub profile: ApplicationProfile,
+    /// Seconds spent generating the trace.
+    pub generate_seconds: f64,
+    /// Seconds spent profiling it.
+    pub profile_seconds: f64,
+}
+
+/// Keyed once-cell cache of kernel analyses.
+///
+/// Built up front from a job batch (so lookups never mutate the map), the
+/// cache guarantees each distinct `(workload, point, scale)` is generated
+/// and profiled **exactly once** even when many workers ask for it
+/// concurrently: the first asker initializes the [`OnceLock`], the rest
+/// block until it is ready and then share the result. N architecture
+/// configurations per point therefore cost one kernel analysis.
+#[derive(Debug)]
+pub struct ProfileCache {
+    entries: HashMap<ProfileKey, OnceLock<ProfiledPoint>>,
+}
+
+impl ProfileCache {
+    /// Prepares (empty) cache slots for every distinct point in `jobs`.
+    pub fn for_jobs(jobs: &[SimJob]) -> Self {
+        let mut entries = HashMap::new();
+        for job in jobs {
+            entries
+                .entry(ProfileKey::of(job))
+                .or_insert_with(OnceLock::new);
+        }
+        ProfileCache { entries }
+    }
+
+    /// The kernel analysis for `job`'s point, computing it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` was not part of the batch the cache was built for.
+    pub fn profiled(&self, job: &SimJob) -> &ProfiledPoint {
+        let cell = self
+            .entries
+            .get(&ProfileKey::of(job))
+            .expect("cache was built for this job batch");
+        cell.get_or_init(|| {
+            let t0 = Instant::now();
+            let trace = job.workload.generate(&job.coords, job.scale);
+            let generate_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let profile = ApplicationProfile::of(&trace);
+            let profile_seconds = t1.elapsed().as_secs_f64();
+            ProfiledPoint {
+                trace,
+                profile,
+                generate_seconds,
+                profile_seconds,
+            }
+        })
+    }
+
+    /// Number of distinct points the cache covers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Generate/profile time summed over the points that were actually
+    /// materialized (each counted once, however many jobs shared it).
+    fn analysis_stats(&self) -> CollectStats {
+        let mut stats = CollectStats::default();
+        for cell in self.entries.values() {
+            if let Some(point) = cell.get() {
+                stats.merge(&CollectStats {
+                    generate_seconds: point.generate_seconds,
+                    profile_seconds: point.profile_seconds,
+                    simulate_seconds: 0.0,
+                });
+            }
+        }
+        stats
+    }
+}
+
+/// Expands a [`CollectionPlan`] into its job batch: workload-major,
+/// DoE-point-major, architecture-minor — exactly the order the original
+/// serial loops produced rows in, which downstream code and tests rely
+/// on.
+pub fn plan_jobs(plan: &CollectionPlan) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for &workload in &plan.workloads {
+        for point in doe_points(&workload.spec(), plan.dedup) {
+            for arch in &plan.arch_configs {
+                jobs.push(SimJob {
+                    index: jobs.len(),
+                    workload,
+                    coords: point.coords().to_vec(),
+                    arch: arch.clone(),
+                    scale: plan.scale,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Runs a job batch on `exec`, returning labeled rows in job-index order
+/// plus campaign timing.
+///
+/// Kernel analyses are shared through a [`ProfileCache`]; simulation runs
+/// per job. The returned rows are executor-independent (see the module
+/// docs for the exact determinism guarantee).
+pub fn run_jobs<E: Executor>(exec: &E, jobs: &[SimJob]) -> (Vec<LabeledRun>, CollectStats) {
+    let cache = ProfileCache::for_jobs(jobs);
+    let results: Vec<(LabeledRun, f64)> = exec.map(jobs, |_, job| {
+        let point = cache.profiled(job);
+        let t = Instant::now();
+        let report = NmcSystem::new(job.arch.clone()).run(&point.trace);
+        let simulate_seconds = t.elapsed().as_secs_f64();
+        let run = LabeledRun::from_report(
+            job.workload,
+            job.coords.clone(),
+            &point.profile,
+            &job.arch,
+            &report,
+        );
+        (run, simulate_seconds)
+    });
+    let mut stats = cache.analysis_stats();
+    stats.simulate_seconds = results.iter().map(|(_, s)| s).sum();
+    (results.into_iter().map(|(run, _)| run).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{arch_neighborhood, collect_with};
+
+    #[test]
+    fn serial_and_threaded_map_agree_and_preserve_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let square = |i: usize, &x: &usize| {
+            assert_eq!(i, x, "index must match item position");
+            x * x
+        };
+        let serial = Serial.map(&items, square);
+        for workers in [2, 3, 8, 64] {
+            let threaded = Threaded::new(workers).map(&items, square);
+            assert_eq!(serial, threaded, "{workers} workers");
+        }
+        assert_eq!(serial.len(), 100);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn threaded_map_runs_every_item_exactly_once() {
+        let items: Vec<usize> = (0..257).collect();
+        let counter = AtomicUsize::new(0);
+        let out = Threaded::new(4).map(&items, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let items: Vec<u8> = Vec::new();
+        assert!(Threaded::new(4).map(&items, |_, &x| x).is_empty());
+        assert!(Serial.map(&items, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..16).collect();
+        let _ = Threaded::new(4).map(&items, |_, &x| {
+            assert!(x != 9, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn jobs_spec_parses_like_documented() {
+        assert_eq!(AnyExecutor::from_spec(""), AnyExecutor::serial());
+        assert_eq!(AnyExecutor::from_spec("  "), AnyExecutor::serial());
+        assert_eq!(AnyExecutor::from_spec("1"), AnyExecutor::serial());
+        assert_eq!(
+            AnyExecutor::from_spec("3"),
+            AnyExecutor::Threaded(Threaded::new(3))
+        );
+        assert!(matches!(
+            AnyExecutor::from_spec("auto"),
+            AnyExecutor::Threaded(_)
+        ));
+        assert!(matches!(
+            AnyExecutor::from_spec("0"),
+            AnyExecutor::Threaded(_)
+        ));
+        assert_eq!(AnyExecutor::from_spec("lots"), AnyExecutor::serial());
+        assert!(AnyExecutor::from_spec("4").workers() == 4);
+    }
+
+    #[test]
+    fn plan_jobs_matches_plan_shape_and_order() {
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax, Workload::Gemv],
+            arch_configs: arch_neighborhood().into_iter().take(2).collect(),
+            scale: Scale::tiny(),
+            dedup: true,
+        };
+        let jobs = plan_jobs(&plan);
+        // atax: 9 deduped points, gemv: 15; two archs each.
+        assert_eq!(jobs.len(), (9 + 15) * 2);
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.index, i);
+        }
+        // Workload-major, arch-minor: the first two jobs share atax's
+        // first point and differ only in architecture.
+        assert_eq!(jobs[0].workload, Workload::Atax);
+        assert_eq!(jobs[0].coords, jobs[1].coords);
+        assert_ne!(jobs[0].arch, jobs[1].arch);
+        assert_eq!(jobs[18].workload, Workload::Gemv);
+    }
+
+    #[test]
+    fn profile_cache_shares_analyses_across_arch_configs() {
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax],
+            arch_configs: arch_neighborhood().into_iter().take(3).collect(),
+            scale: Scale::tiny(),
+            dedup: true,
+        };
+        let jobs = plan_jobs(&plan);
+        assert_eq!(jobs.len(), 27);
+        let cache = ProfileCache::for_jobs(&jobs);
+        // 9 distinct points, not 27: three arch configs share each
+        // analysis.
+        assert_eq!(cache.len(), 9);
+        let first = cache.profiled(&jobs[0]) as *const ProfiledPoint;
+        let second = cache.profiled(&jobs[1]) as *const ProfiledPoint;
+        assert_eq!(first, second, "same point must share one analysis");
+    }
+
+    /// The headline guarantee: a threaded campaign's output is exactly the
+    /// serial campaign's output — rows, ordering, features and labels —
+    /// for a 2-workload × 3-architecture batch.
+    #[test]
+    fn threaded_campaign_output_is_identical_to_serial() {
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax, Workload::Gemv],
+            arch_configs: arch_neighborhood().into_iter().take(3).collect(),
+            scale: Scale::tiny(),
+            dedup: true,
+        };
+        let serial = collect_with(&plan, &Serial);
+        let threaded = collect_with(&plan, &Threaded::new(3));
+        assert_eq!(serial.feature_names, threaded.feature_names);
+        assert_eq!(
+            serial.runs, threaded.runs,
+            "parallel campaign must be bit-identical to serial"
+        );
+        // Timing stats are wall-clock measurements, not part of the
+        // determinism guarantee — but both must have done real work.
+        assert!(serial.stats.simulate_seconds > 0.0);
+        assert!(threaded.stats.simulate_seconds > 0.0);
+    }
+}

@@ -6,14 +6,12 @@
 //! (PISA profile), and simulated on every architecture configuration in
 //! the plan to produce labeled training rows.
 
-use std::time::Instant;
-
 use napel_doe::ccd::{central_composite, CcdOptions};
 use napel_doe::{DesignPoint, ParamDef, ParamSpace};
-use napel_pisa::ApplicationProfile;
 use napel_workloads::{Scale, Workload, WorkloadSpec};
-use nmc_sim::{ArchConfig, NmcSystem};
+use nmc_sim::ArchConfig;
 
+use crate::campaign::{plan_jobs, run_jobs, AnyExecutor, Executor};
 use crate::features::{combined_feature_names, CollectStats, LabeledRun, TrainingSet};
 
 /// What to simulate.
@@ -76,16 +74,20 @@ pub fn doe_config_count(spec: &WorkloadSpec) -> usize {
 }
 
 /// Runs the campaign of `plan`, returning the labeled training set.
+///
+/// Thin wrapper over [`collect_with`] using the executor selected by the
+/// `NAPEL_JOBS` environment variable (serial by default); see
+/// [`crate::campaign`].
 pub fn collect(plan: &CollectionPlan) -> TrainingSet {
-    let mut runs = Vec::new();
-    let mut stats = CollectStats::default();
-    for &w in &plan.workloads {
-        let (app_runs, app_stats) = collect_app(w, plan);
-        runs.extend(app_runs);
-        stats.generate_seconds += app_stats.generate_seconds;
-        stats.profile_seconds += app_stats.profile_seconds;
-        stats.simulate_seconds += app_stats.simulate_seconds;
-    }
+    collect_with(plan, &AnyExecutor::from_env())
+}
+
+/// Runs the campaign of `plan` on `exec`, returning the labeled training
+/// set. Rows come back in workload-major, DoE-point-major,
+/// architecture-minor order regardless of the executor.
+pub fn collect_with<E: Executor>(plan: &CollectionPlan, exec: &E) -> TrainingSet {
+    let jobs = plan_jobs(plan);
+    let (runs, stats) = run_jobs(exec, &jobs);
     TrainingSet {
         feature_names: combined_feature_names(),
         runs,
@@ -93,34 +95,24 @@ pub fn collect(plan: &CollectionPlan) -> TrainingSet {
     }
 }
 
-/// Runs the campaign for a single application (used per-app by Table 4).
+/// Runs the campaign for a single application (used per-app by Table 4),
+/// on the `NAPEL_JOBS`-selected executor.
 pub fn collect_app(w: Workload, plan: &CollectionPlan) -> (Vec<LabeledRun>, CollectStats) {
-    let spec = w.spec();
-    let mut stats = CollectStats::default();
-    let mut runs = Vec::new();
-    for point in doe_points(&spec, plan.dedup) {
-        let t0 = Instant::now();
-        let trace = w.generate(point.coords(), plan.scale);
-        stats.generate_seconds += t0.elapsed().as_secs_f64();
+    collect_app_with(w, plan, &AnyExecutor::from_env())
+}
 
-        let t1 = Instant::now();
-        let profile = ApplicationProfile::of(&trace);
-        stats.profile_seconds += t1.elapsed().as_secs_f64();
-
-        for arch in &plan.arch_configs {
-            let t2 = Instant::now();
-            let report = NmcSystem::new(arch.clone()).run(&trace);
-            stats.simulate_seconds += t2.elapsed().as_secs_f64();
-            runs.push(LabeledRun::from_report(
-                w,
-                point.coords().to_vec(),
-                &profile,
-                arch,
-                &report,
-            ));
-        }
-    }
-    (runs, stats)
+/// Runs the campaign for a single application on `exec`.
+pub fn collect_app_with<E: Executor>(
+    w: Workload,
+    plan: &CollectionPlan,
+    exec: &E,
+) -> (Vec<LabeledRun>, CollectStats) {
+    let app_plan = CollectionPlan {
+        workloads: vec![w],
+        ..plan.clone()
+    };
+    let jobs = plan_jobs(&app_plan);
+    run_jobs(exec, &jobs)
 }
 
 /// A small architecture sweep around the Table 3 design, for training the
@@ -207,22 +199,49 @@ mod tests {
 
     #[test]
     fn multiple_arch_configs_multiply_rows() {
+        let archs = arch_neighborhood();
         let plan = CollectionPlan {
             workloads: vec![Workload::Atax],
-            arch_configs: arch_neighborhood(),
+            arch_configs: archs.clone(),
             scale: Scale::tiny(),
             dedup: true,
         };
         let set = collect(&plan);
-        assert_eq!(set.runs.len(), 9 * arch_neighborhood().len());
-        // Same profile, different arch features -> different labels for at
-        // least some pairs.
-        let ipcs: Vec<f64> = set.runs.iter().take(5).map(|r| r.ipc).collect();
-        let distinct = ipcs
-            .iter()
-            .filter(|&&a| ipcs.iter().filter(|&&b| (a - b).abs() > 1e-9).count() > 0)
-            .count();
-        assert!(distinct > 0, "architecture must influence IPC: {ipcs:?}");
+        let a = archs.len();
+        assert_eq!(set.runs.len(), 9 * a);
+        // Rows are DoE-point-major, architecture-minor: runs[k*a + j] is
+        // point k simulated on arch j. Every block of `a` rows must share
+        // one input configuration...
+        let mut varied = 0;
+        for k in 0..9 {
+            let block = &set.runs[k * a..(k + 1) * a];
+            for r in block {
+                assert_eq!(
+                    r.params, block[0].params,
+                    "point {k} rows must share inputs"
+                );
+            }
+            // ...and the architecture must actually move the IPC label
+            // within the block: the same DoE point on different hardware
+            // is a different training row, not a duplicate. Degenerate
+            // tiny-scale points can be arch-insensitive (everything hits
+            // in cache and the pipeline bound is unchanged), so require
+            // sensitivity at a majority of points, not every point.
+            let ipcs: Vec<f64> = block.iter().map(|r| r.ipc).collect();
+            if ipcs.iter().any(|&x| (x - ipcs[0]).abs() > 1e-9) {
+                varied += 1;
+            }
+        }
+        assert!(
+            varied * 2 >= 9,
+            "arch sweep moved IPC at only {varied}/9 DoE points"
+        );
+        // Across points (same arch), inputs must differ — the DoE side of
+        // the cross product.
+        let base: Vec<&LabeledRun> = set.runs.iter().step_by(a).collect();
+        for pair in base.windows(2) {
+            assert_ne!(pair[0].params, pair[1].params);
+        }
     }
 
     #[test]

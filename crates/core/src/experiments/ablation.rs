@@ -28,7 +28,8 @@ use napel_pisa::ApplicationProfile;
 use napel_workloads::{Scale, Workload};
 use nmc_sim::{ArchConfig, NmcSystem};
 
-use crate::analysis::{average_mre, loao_accuracy};
+use crate::analysis::{average_mre, loao_accuracy_with};
+use crate::campaign::{AnyExecutor, Executor};
 use crate::collect::{doe_points, param_space};
 use crate::features::{combined_feature_names, LabeledRun, TrainingSet};
 use crate::NapelError;
@@ -125,11 +126,27 @@ pub fn sampler_ablation(
     scale: Scale,
     seed: u64,
 ) -> Result<SamplerAblation, NapelError> {
+    sampler_ablation_with(workloads, scale, seed, &AnyExecutor::from_env())
+}
+
+/// [`sampler_ablation`] with an explicit campaign executor. The sampler
+/// loop stays serial (each strategy draws a fresh seeded RNG stream);
+/// the leave-one-out folds inside each strategy run as a job batch.
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn sampler_ablation_with<E: Executor>(
+    workloads: &[Workload],
+    scale: Scale,
+    seed: u64,
+    exec: &E,
+) -> Result<SamplerAblation, NapelError> {
     let est = super::fig5::napel_estimator();
     let mut rows = Vec::new();
     for sampler in Sampler::ALL {
         let set = collect_with_sampler(workloads, sampler, scale, seed);
-        let results = loao_accuracy(&est, &set, seed)?;
+        let results = loao_accuracy_with(&est, &set, seed, exec)?;
         let (p, e) = average_mre(&results);
         rows.push((sampler, p, e));
     }
@@ -153,6 +170,21 @@ pub fn forest_size_sweep(
     sizes: &[usize],
     seed: u64,
 ) -> Result<ForestSweep, NapelError> {
+    forest_size_sweep_with(set, sizes, seed, &AnyExecutor::from_env())
+}
+
+/// [`forest_size_sweep`] with an explicit campaign executor for the
+/// leave-one-out folds.
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn forest_size_sweep_with<E: Executor>(
+    set: &TrainingSet,
+    sizes: &[usize],
+    seed: u64,
+    exec: &E,
+) -> Result<ForestSweep, NapelError> {
     let mut points = Vec::new();
     for &n in sizes {
         let est = RandomForestParams {
@@ -163,7 +195,7 @@ pub fn forest_size_sweep(
             },
             bootstrap: true,
         };
-        let results = loao_accuracy(&est, set, seed)?;
+        let results = loao_accuracy_with(&est, set, seed, exec)?;
         let (p, _) = average_mre(&results);
         points.push((n, p));
     }
@@ -190,6 +222,21 @@ pub fn screening_ablation(
     keep_counts: &[usize],
     seed: u64,
 ) -> Result<Vec<ScreeningPoint>, NapelError> {
+    screening_ablation_with(set, keep_counts, seed, &AnyExecutor::from_env())
+}
+
+/// [`screening_ablation`] with an explicit campaign executor for the
+/// leave-one-out folds.
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn screening_ablation_with<E: Executor>(
+    set: &TrainingSet,
+    keep_counts: &[usize],
+    seed: u64,
+    exec: &E,
+) -> Result<Vec<ScreeningPoint>, NapelError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let full = set.ipc_dataset()?;
     let est = super::fig5::napel_estimator();
@@ -200,7 +247,7 @@ pub fn screening_ablation(
 
     let mut out = Vec::new();
     // Baseline: all features.
-    let all = loao_accuracy(&est, set, seed)?;
+    let all = loao_accuracy_with(&est, set, seed, exec)?;
     out.push(ScreeningPoint {
         kept: usize::MAX,
         perf_mre: average_mre(&all).0,
@@ -215,7 +262,7 @@ pub fn screening_ablation(
         for run in &mut projected.runs {
             run.features = keep.iter().map(|&i| run.features[i]).collect();
         }
-        let results = loao_accuracy(&est, &projected, seed)?;
+        let results = loao_accuracy_with(&est, &projected, seed, exec)?;
         out.push(ScreeningPoint {
             kept: k,
             perf_mre: average_mre(&results).0,

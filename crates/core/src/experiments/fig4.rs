@@ -24,6 +24,7 @@ use napel_pisa::ApplicationProfile;
 use napel_workloads::Workload;
 use nmc_sim::{ArchConfig, NmcSystem, RowPolicy};
 
+use crate::campaign::{AnyExecutor, Executor};
 use crate::model::{Napel, NapelConfig};
 use crate::NapelError;
 
@@ -85,11 +86,33 @@ pub fn run(
     config: &NapelConfig,
     num_configs: usize,
 ) -> Result<Vec<Fig4Row>, NapelError> {
+    run_with(ctx, config, num_configs, &AnyExecutor::from_env())
+}
+
+/// [`run`] with an explicit campaign executor.
+///
+/// The twelve leave-one-out trainings form one job batch; the timed
+/// simulate/predict sections stay serial so each row's wall-clock numbers
+/// are not distorted by concurrent load.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn run_with<E: Executor>(
+    ctx: &super::Context,
+    config: &NapelConfig,
+    num_configs: usize,
+    exec: &E,
+) -> Result<Vec<Fig4Row>, NapelError> {
     let archs = sample_arch_configs(num_configs, ctx.seed);
-    let mut rows = Vec::new();
-    for w in ctx.training.workloads() {
+    let workloads = ctx.training.workloads();
+    let trained_models = exec.map(&workloads, |_, &w| {
         // NAPEL trained without the application under prediction.
-        let trained = Napel::new(config.clone()).train(&ctx.training.filtered(|x| x != w))?;
+        Napel::new(config.clone()).train(&ctx.training.filtered(|x| x != w))
+    });
+    let mut rows = Vec::new();
+    for (&w, trained) in workloads.iter().zip(trained_models) {
+        let trained = trained?;
 
         // The configuration whose design space we explore: the central one.
         let params = w.spec().central_values();

@@ -19,7 +19,8 @@ use napel_ml::model_tree::ModelTreeParams;
 use napel_ml::tree::{DecisionTreeParams, FeatureSubset};
 use napel_workloads::Workload;
 
-use crate::analysis::{average_mre, loao_accuracy, LoaoResult};
+use crate::analysis::{average_mre, loao_accuracy_with, LoaoResult};
+use crate::campaign::{AnyExecutor, Executor};
 use crate::NapelError;
 
 /// Per-workload MREs for the three estimators.
@@ -96,11 +97,21 @@ pub fn dtree_estimator() -> ModelTreeParams {
 ///
 /// Propagates estimator failures.
 pub fn run(ctx: &super::Context) -> Result<Fig5Result, NapelError> {
+    run_with(ctx, &AnyExecutor::from_env())
+}
+
+/// [`run`] with an explicit campaign executor for the leave-one-out
+/// folds.
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn run_with<E: Executor>(ctx: &super::Context, exec: &E) -> Result<Fig5Result, NapelError> {
     // All three estimators fit in log-space (see `napel_ml::log_space`) so
     // the comparison stays apples-to-apples.
-    let rf = loao_accuracy(&LogOf(napel_estimator()), &ctx.training, ctx.seed)?;
-    let ann = loao_accuracy(&LogOf(ann_estimator()), &ctx.training, ctx.seed)?;
-    let dt = loao_accuracy(&LogOf(dtree_estimator()), &ctx.training, ctx.seed)?;
+    let rf = loao_accuracy_with(&LogOf(napel_estimator()), &ctx.training, ctx.seed, exec)?;
+    let ann = loao_accuracy_with(&LogOf(ann_estimator()), &ctx.training, ctx.seed, exec)?;
+    let dt = loao_accuracy_with(&LogOf(dtree_estimator()), &ctx.training, ctx.seed, exec)?;
 
     let find = |rs: &[LoaoResult], w: Workload| -> (f64, f64) {
         rs.iter()

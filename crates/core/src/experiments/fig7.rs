@@ -10,7 +10,8 @@
 use napel_workloads::Workload;
 use nmc_sim::ArchConfig;
 
-use crate::analysis::{nmc_suitability, SuitabilityRow};
+use crate::analysis::{nmc_suitability_with, SuitabilityRow};
+use crate::campaign::{AnyExecutor, Executor};
 use crate::model::NapelConfig;
 use crate::NapelError;
 
@@ -49,11 +50,26 @@ impl Fig7Result {
 ///
 /// Propagates training failures.
 pub fn run(ctx: &super::Context, config: &NapelConfig) -> Result<Fig7Result, NapelError> {
-    let rows = nmc_suitability(
+    run_with(ctx, config, &AnyExecutor::from_env())
+}
+
+/// [`run`] with an explicit campaign executor for the per-application
+/// suitability jobs.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn run_with<E: Executor>(
+    ctx: &super::Context,
+    config: &NapelConfig,
+    exec: &E,
+) -> Result<Fig7Result, NapelError> {
+    let rows = nmc_suitability_with(
         &ctx.training,
         config,
         &ArchConfig::paper_default(),
         ctx.scale,
+        exec,
     )?;
     Ok(Fig7Result { rows })
 }

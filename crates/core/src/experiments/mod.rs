@@ -29,7 +29,8 @@ pub mod table4;
 
 use napel_workloads::{Scale, Workload};
 
-use crate::collect::{collect, CollectionPlan};
+use crate::campaign::{AnyExecutor, Executor};
+use crate::collect::{collect_with, CollectionPlan};
 use crate::features::TrainingSet;
 
 /// Shared experiment context: one training-data collection reused by every
@@ -55,6 +56,11 @@ impl Context {
     /// single-core collection time reasonable; pass a custom plan through
     /// [`crate::collect::collect`] for a denser sweep.
     pub fn build(scale: Scale, seed: u64) -> Self {
+        Self::build_with(scale, seed, &AnyExecutor::from_env())
+    }
+
+    /// [`Context::build`] with an explicit campaign executor.
+    pub fn build_with<E: Executor>(scale: Scale, seed: u64, exec: &E) -> Self {
         let neighborhood = crate::collect::arch_neighborhood();
         let plan = CollectionPlan {
             scale,
@@ -64,13 +70,23 @@ impl Context {
         Context {
             scale,
             seed,
-            training: collect(&plan),
+            training: collect_with(&plan, exec),
         }
     }
 
     /// Context restricted to a subset of applications (cheap tests; single
     /// architecture).
     pub fn build_subset(workloads: Vec<Workload>, scale: Scale, seed: u64) -> Self {
+        Self::build_subset_with(workloads, scale, seed, &AnyExecutor::from_env())
+    }
+
+    /// [`Context::build_subset`] with an explicit campaign executor.
+    pub fn build_subset_with<E: Executor>(
+        workloads: Vec<Workload>,
+        scale: Scale,
+        seed: u64,
+        exec: &E,
+    ) -> Self {
         let plan = CollectionPlan {
             workloads,
             scale,
@@ -79,7 +95,7 @@ impl Context {
         Context {
             scale,
             seed,
-            training: collect(&plan),
+            training: collect_with(&plan, exec),
         }
     }
 }

@@ -12,7 +12,8 @@ use napel_pisa::ApplicationProfile;
 use napel_workloads::Workload;
 use nmc_sim::ArchConfig;
 
-use crate::collect::{collect_app, doe_config_count, CollectionPlan};
+use crate::campaign::{AnyExecutor, Executor};
+use crate::collect::{collect_app_with, doe_config_count, CollectionPlan};
 use crate::model::{Napel, NapelConfig};
 use crate::NapelError;
 
@@ -44,6 +45,24 @@ pub struct Table4Row {
 ///
 /// Propagates training failures.
 pub fn run(ctx: &super::Context, config: &NapelConfig) -> Result<Vec<Table4Row>, NapelError> {
+    run_with(ctx, config, &AnyExecutor::from_env())
+}
+
+/// [`run`] with an explicit campaign executor.
+///
+/// The per-application loop stays serial so each row's timings are
+/// attributable to that application; within a row, the DoE collection
+/// itself runs as a job batch on `exec` (so its "DoE run" wall-clock
+/// reflects the configured parallelism).
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn run_with<E: Executor>(
+    ctx: &super::Context,
+    config: &NapelConfig,
+    exec: &E,
+) -> Result<Vec<Table4Row>, NapelError> {
     let arch = ArchConfig::paper_default();
     let mut rows = Vec::new();
     for w in ctx.training.workloads() {
@@ -53,7 +72,7 @@ pub fn run(ctx: &super::Context, config: &NapelConfig) -> Result<Vec<Table4Row>,
             scale: ctx.scale,
             ..Default::default()
         };
-        let (_, stats) = collect_app(w, &plan);
+        let (_, stats) = collect_app_with(w, &plan, exec);
         let doe_run_seconds =
             stats.generate_seconds + stats.profile_seconds + stats.simulate_seconds;
 

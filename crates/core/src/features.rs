@@ -82,6 +82,20 @@ pub struct CollectStats {
     pub simulate_seconds: f64,
 }
 
+impl CollectStats {
+    /// Folds another accounting into this one, phase by phase.
+    ///
+    /// Merging is associative and commutative (floating-point addition
+    /// aside), so per-job or per-application stats can be combined in any
+    /// grouping — which is what lets the campaign engine account a
+    /// parallel run the same way as a serial one.
+    pub fn merge(&mut self, other: &CollectStats) {
+        self.generate_seconds += other.generate_seconds;
+        self.profile_seconds += other.profile_seconds;
+        self.simulate_seconds += other.simulate_seconds;
+    }
+}
+
 /// A labeled training set plus its provenance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainingSet {

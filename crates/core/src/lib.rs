@@ -21,6 +21,11 @@
 //! NMC-suitability use case (Figures 6–7), and [`experiments`] packages
 //! every table and figure of the evaluation as a reproducible driver.
 //!
+//! Simulation batches — phase-② collection and the leave-one-out folds
+//! built on it — run through the [`campaign`] engine, which can spread
+//! jobs across scoped worker threads (`NAPEL_JOBS=auto` or a count)
+//! while keeping the output bit-identical to a serial run.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -47,6 +52,7 @@
 //! ```
 
 pub mod analysis;
+pub mod campaign;
 pub mod collect;
 mod error;
 pub mod experiments;

@@ -1,0 +1,319 @@
+//! A self-contained subset of the `criterion` benchmark API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! aliases this crate as `criterion` (see the root `Cargo.toml`). It
+//! implements the surface the NAPEL benches use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with plain wall-clock measurement:
+//! a short warm-up, then `sample_size` timed samples whose median and mean
+//! are printed per benchmark.
+//!
+//! There are no HTML reports, no statistical regression analysis, and no
+//! saved baselines; output goes to stdout, one line per benchmark.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration annotation, used to print a rate next to the time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Hint for how `iter_batched` should size its batches. The shim runs one
+/// setup per routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to set up.
+    SmallInput,
+    /// Inputs are large; keep few alive.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            warm_up: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let warm_up = self.warm_up;
+        let sample_size = self.default_sample_size;
+        run_benchmark(id, warm_up, sample_size, None, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            self._criterion.warm_up,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (provided for source compatibility; nothing to
+    /// flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; routines register the code
+/// under measurement through [`Bencher::iter`] or
+/// [`Bencher::iter_batched`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`], but the routine borrows its input.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    warm_up: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up: run single iterations until the budget is spent, learning
+    // the per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::ZERO;
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < warm_up || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed;
+        warm_iters += 1;
+        if per_iter > warm_up {
+            break; // One iteration blows the whole budget; stop early.
+        }
+    }
+
+    // Aim each sample at ~50ms of work, capped to keep slow benches usable.
+    let target = Duration::from_millis(50);
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    let mut line = format!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_time(samples[0]),
+        fmt_time(median),
+        fmt_time(samples[samples.len() - 1]),
+    );
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        line.push_str(&format!(" thrpt: {:.3e} {unit}", amount / median));
+    }
+    line.push_str(&format!(
+        " (mean {}, {} samples x {} iters)",
+        fmt_time(mean),
+        samples.len(),
+        iters_per_sample
+    ));
+    println!("{line}");
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, as in the real crate:
+/// `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, as in the real crate:
+/// `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); accept
+            // and ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box((0..100u64).sum::<u64>())
+            })
+        });
+        g.finish();
+        assert!(runs > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_batched(
+            || vec![1u64; 8],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.elapsed > Duration::ZERO || b.iters == 4);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 us");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+}

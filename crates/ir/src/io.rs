@@ -15,7 +15,7 @@
 use std::io::{self, Read, Write};
 
 use crate::inst::{Inst, Opcode};
-use crate::trace::{MultiTrace, Trace, TraceSink};
+use crate::trace::{MultiTrace, TraceSink};
 
 const MAGIC: &[u8; 8] = b"NAPLTRC1";
 

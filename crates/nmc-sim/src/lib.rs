@@ -57,3 +57,17 @@ pub use config::{ArchConfig, DramTiming, RowPolicy};
 pub use link::LinkConfig;
 pub use report::SimReport;
 pub use system::NmcSystem;
+
+// The campaign engine in `napel-core` simulates from multiple worker
+// threads; the simulator's public surface must stay shareable (no interior
+// mutability — `NmcSystem::run` takes `&self` and builds all per-run state
+// locally).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ArchConfig>();
+    assert_send_sync::<DramTiming>();
+    assert_send_sync::<RowPolicy>();
+    assert_send_sync::<LinkConfig>();
+    assert_send_sync::<SimReport>();
+    assert_send_sync::<NmcSystem>();
+};

@@ -43,6 +43,16 @@ pub use spec::{ParamInfo, WorkloadSpec};
 
 use napel_ir::MultiTrace;
 
+// Campaign workers generate traces concurrently; workload descriptors and
+// the traces they produce must stay shareable across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Workload>();
+    assert_send_sync::<WorkloadSpec>();
+    assert_send_sync::<Scale>();
+    assert_send_sync::<MultiTrace>();
+};
+
 /// The twelve applications evaluated in the paper, in Table 2 order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Workload {
