@@ -1,6 +1,6 @@
 //! Runs every table and figure in sequence, printing the full evaluation.
 
-use napel_bench::Options;
+use napel_bench::{announce_report, Options};
 use napel_core::experiments::{fig4, fig5, fig6, fig7, table2, table3, table4, Context};
 use napel_workloads::Workload;
 
@@ -11,7 +11,10 @@ fn main() {
     println!("== Table 3 ==\n{}", table3::render(opts.scale));
 
     eprintln!("collecting training data ({:?})...", opts.scale);
-    let ctx = Context::build_with(opts.scale, opts.seed, &exec);
+    let (ctx, report) =
+        Context::build_supervised(opts.scale, opts.seed, &exec, &opts.campaign_options())
+            .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
+    announce_report(&report);
     let cfg = opts.napel_config();
 
     eprintln!("table 4...");

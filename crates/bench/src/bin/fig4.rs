@@ -1,14 +1,17 @@
 //! Regenerates Figure 4 (NAPEL prediction speedup over simulation for a
 //! design-space sweep of architecture configurations).
 
-use napel_bench::Options;
+use napel_bench::{announce_report, Options};
 use napel_core::experiments::{fig4, Context};
 
 fn main() {
     let opts = Options::from_env();
     let exec = opts.executor();
     eprintln!("collecting training data ({:?})...", opts.scale);
-    let ctx = Context::build_with(opts.scale, opts.seed, &exec);
+    let (ctx, report) =
+        Context::build_supervised(opts.scale, opts.seed, &exec, &opts.campaign_options())
+            .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
+    announce_report(&report);
     eprintln!("timing {} configurations per application...", opts.configs);
     let rows = fig4::run_with(&ctx, &opts.napel_config(), opts.configs, &exec).expect("fig 4 run");
     println!("Figure 4: prediction speedup over the simulator (increasing order)\n");

@@ -1,14 +1,17 @@
 //! Regenerates Figure 5 (leave-one-application-out MRE of NAPEL vs an ANN
 //! vs a linear decision tree, for performance and energy).
 
-use napel_bench::Options;
+use napel_bench::{announce_report, Options};
 use napel_core::experiments::{fig5, Context};
 
 fn main() {
     let opts = Options::from_env();
     let exec = opts.executor();
     eprintln!("collecting training data ({:?})...", opts.scale);
-    let ctx = Context::build_with(opts.scale, opts.seed, &exec);
+    let (ctx, report) =
+        Context::build_supervised(opts.scale, opts.seed, &exec, &opts.campaign_options())
+            .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
+    announce_report(&report);
     eprintln!("running leave-one-application-out comparisons...");
     let result = fig5::run_with(&ctx, &exec).expect("fig 5 run");
     println!("Figure 5: mean relative error, performance (a) and energy (b)\n");

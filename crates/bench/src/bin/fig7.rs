@@ -1,14 +1,17 @@
 //! Regenerates Figure 7 (estimated EDP reduction of NMC offloading vs the
 //! host; NAPEL prediction next to the simulator's "Actual").
 
-use napel_bench::Options;
+use napel_bench::{announce_report, Options};
 use napel_core::experiments::{fig7, Context};
 
 fn main() {
     let opts = Options::from_env();
     let exec = opts.executor();
     eprintln!("collecting training data ({:?})...", opts.scale);
-    let ctx = Context::build_with(opts.scale, opts.seed, &exec);
+    let (ctx, report) =
+        Context::build_supervised(opts.scale, opts.seed, &exec, &opts.campaign_options())
+            .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
+    announce_report(&report);
     eprintln!("running the NMC-suitability analysis...");
     let result = fig7::run_with(&ctx, &opts.napel_config(), &exec).expect("fig 7 run");
     println!("Figure 7: EDP reduction of NMC offloading vs host execution\n");

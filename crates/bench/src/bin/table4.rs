@@ -2,14 +2,17 @@
 //! times). Times are seconds on this substrate; the paper reports minutes
 //! on a server — see EXPERIMENTS.md for the side-by-side.
 
-use napel_bench::Options;
+use napel_bench::{announce_report, Options};
 use napel_core::experiments::{table4, Context};
 
 fn main() {
     let opts = Options::from_env();
     let exec = opts.executor();
     eprintln!("collecting training data ({:?})...", opts.scale);
-    let ctx = Context::build_with(opts.scale, opts.seed, &exec);
+    let (ctx, report) =
+        Context::build_supervised(opts.scale, opts.seed, &exec, &opts.campaign_options())
+            .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
+    announce_report(&report);
     eprintln!("running per-application timings...");
     let rows = table4::run_with(&ctx, &opts.napel_config(), &exec).expect("table 4 run");
     println!("Table 4: DoE configurations and training/prediction time\n");

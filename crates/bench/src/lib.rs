@@ -9,10 +9,17 @@
 //! - `--jobs N|auto` — campaign worker threads (default: the `NAPEL_JOBS`
 //!   environment variable, falling back to serial). Parallelism never
 //!   changes results, only wall-clock time.
+//! - `--checkpoint PATH` — journal completed campaign jobs to `PATH` and
+//!   resume from it on restart (default: the `NAPEL_CHECKPOINT`
+//!   environment variable, falling back to no journal),
+//! - `--fail-policy fast|quarantine` — stop at the first failed campaign
+//!   job (default) or complete the campaign and itemize failures,
+//! - `--retries N` — re-run a panicked campaign job up to `N` extra times.
 //!
 //! Run them as `cargo run --release -p napel-bench --bin fig5 -- --quick`.
 
 use napel_core::campaign::AnyExecutor;
+use napel_core::fault::{CampaignOptions, CampaignReport, FaultPolicy};
 use napel_core::model::NapelConfig;
 use napel_workloads::Scale;
 
@@ -29,6 +36,15 @@ pub struct Options {
     pub configs: usize,
     /// Campaign worker threads (`--jobs`); `None` defers to `NAPEL_JOBS`.
     pub jobs: Option<String>,
+    /// Checkpoint-journal path (`--checkpoint`); `None` defers to
+    /// `NAPEL_CHECKPOINT`.
+    pub checkpoint: Option<String>,
+    /// Campaign fault policy (`--fail-policy`); `None` defers to
+    /// `NAPEL_FAIL_POLICY`.
+    pub fail_policy: Option<FaultPolicy>,
+    /// Per-job retry budget (`--retries`); `None` defers to
+    /// `NAPEL_RETRIES`.
+    pub retries: Option<u32>,
 }
 
 impl Default for Options {
@@ -39,6 +55,9 @@ impl Default for Options {
             seed: 25019,
             configs: 256,
             jobs: None,
+            checkpoint: None,
+            fail_policy: None,
+            retries: None,
         }
     }
 }
@@ -82,6 +101,24 @@ impl Options {
                 "--jobs" => {
                     opts.jobs = Some(args.next().expect("--jobs needs a value (N or `auto`)"));
                 }
+                "--checkpoint" => {
+                    opts.checkpoint = Some(args.next().expect("--checkpoint needs a path"));
+                }
+                "--fail-policy" => {
+                    let v = args
+                        .next()
+                        .expect("--fail-policy needs a value (fast|quarantine)");
+                    opts.fail_policy =
+                        Some(FaultPolicy::parse_spec(&v).unwrap_or_else(|e| panic!("{e}")));
+                }
+                "--retries" => {
+                    opts.retries = Some(
+                        args.next()
+                            .expect("--retries needs a value")
+                            .parse()
+                            .expect("--retries must be an integer"),
+                    );
+                }
                 other => panic!("unknown flag `{other}`"),
             }
         }
@@ -103,6 +140,23 @@ impl Options {
         }
     }
 
+    /// The supervised-campaign options implied by the flags: starts from
+    /// the environment (`NAPEL_CHECKPOINT`, `NAPEL_FAIL_POLICY`,
+    /// `NAPEL_RETRIES`), then lets explicit flags win.
+    pub fn campaign_options(&self) -> CampaignOptions {
+        let mut opts = CampaignOptions::from_env();
+        if let Some(path) = &self.checkpoint {
+            opts.checkpoint = Some(path.into());
+        }
+        if let Some(policy) = self.fail_policy {
+            opts.policy = policy;
+        }
+        if let Some(retries) = self.retries {
+            opts.retries = retries;
+        }
+        opts
+    }
+
     /// The NAPEL training configuration implied by the options.
     pub fn napel_config(&self) -> NapelConfig {
         if self.quick {
@@ -116,6 +170,20 @@ impl Options {
                 ..NapelConfig::default()
             }
         }
+    }
+}
+
+/// Surfaces a campaign's fault-tolerance activity on stderr — restored
+/// and quarantined counts, and one line of provenance per quarantined
+/// job — keeping stdout reserved for the table/figure itself. Silent on
+/// a plain clean run.
+pub fn announce_report(report: &CampaignReport) {
+    if report.is_clean() && report.restored == 0 {
+        return;
+    }
+    eprintln!("campaign: {}", report.summary());
+    for failure in &report.quarantined {
+        eprintln!("  quarantined: {failure}");
     }
 }
 
@@ -161,6 +229,31 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         let _ = parse(&["--frobnicate"]);
+    }
+
+    #[test]
+    fn fault_flags_override_campaign_options() {
+        let o = parse(&[
+            "--checkpoint",
+            "/tmp/journal.ckpt",
+            "--fail-policy",
+            "quarantine",
+            "--retries",
+            "2",
+        ]);
+        let opts = o.campaign_options();
+        assert_eq!(
+            opts.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/journal.ckpt"))
+        );
+        assert_eq!(opts.policy, FaultPolicy::Quarantine);
+        assert_eq!(opts.retries, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault policy")]
+    fn bad_fail_policy_panics() {
+        let _ = parse(&["--fail-policy", "maybe"]);
     }
 
     #[test]

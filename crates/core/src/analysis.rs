@@ -12,10 +12,25 @@ use nmc_sim::{ArchConfig, NmcSystem};
 
 use napel_hostmodel::HostModel;
 
-use crate::campaign::{AnyExecutor, Executor};
+use crate::campaign::{catch_job_panic, AnyExecutor, Executor};
+use crate::fault::{JobFailure, JobFailureKind};
 use crate::features::TrainingSet;
 use crate::model::{Napel, NapelConfig};
 use crate::NapelError;
+
+/// Converts a caught fold panic into a provenance-carrying error: which
+/// held-out application's fold died, and with what payload. A panicking
+/// estimator must not take down the whole evaluation protocol.
+fn fold_panic(index: usize, held_out: Workload, stage: &str, message: String) -> NapelError {
+    NapelError::Job(JobFailure {
+        index,
+        workload: held_out.name().to_string(),
+        params: Vec::new(),
+        arch: stage.to_string(),
+        attempts: 1,
+        kind: JobFailureKind::Panic(message),
+    })
+}
 
 /// Leave-one-application-out accuracy of one estimator for one workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,32 +80,37 @@ pub fn loao_accuracy_with<E: Estimator + Sync, X: Executor>(
             what: "leave-one-application-out needs at least two applications".into(),
         });
     }
-    let folds = exec.map(&workloads, |_, &held_out| {
-        let train = set.filtered(|w| w != held_out);
-        let test = set.filtered(|w| w == held_out);
-        let mut rng = StdRng::seed_from_u64(seed);
+    let folds = exec.map(&workloads, |i, &held_out| {
+        // A panicking fit in one fold is isolated and surfaced as an
+        // error naming the fold, not a process abort.
+        catch_job_panic(|| {
+            let train = set.filtered(|w| w != held_out);
+            let test = set.filtered(|w| w == held_out);
+            let mut rng = StdRng::seed_from_u64(seed);
 
-        let perf_model = estimator.fit(&train.ipc_dataset()?, &mut rng)?;
-        let energy_model = estimator.fit(&train.energy_dataset()?, &mut rng)?;
+            let perf_model = estimator.fit(&train.ipc_dataset()?, &mut rng)?;
+            let energy_model = estimator.fit(&train.energy_dataset()?, &mut rng)?;
 
-        let perf_pred: Vec<f64> = test
-            .runs
-            .iter()
-            .map(|r| perf_model.predict_one(&r.features))
-            .collect();
-        let perf_actual: Vec<f64> = test.runs.iter().map(|r| r.ipc).collect();
-        let energy_pred: Vec<f64> = test
-            .runs
-            .iter()
-            .map(|r| energy_model.predict_one(&r.features))
-            .collect();
-        let energy_actual: Vec<f64> = test.runs.iter().map(|r| r.energy_per_inst_pj).collect();
+            let perf_pred: Vec<f64> = test
+                .runs
+                .iter()
+                .map(|r| perf_model.predict_one(&r.features))
+                .collect();
+            let perf_actual: Vec<f64> = test.runs.iter().map(|r| r.ipc).collect();
+            let energy_pred: Vec<f64> = test
+                .runs
+                .iter()
+                .map(|r| energy_model.predict_one(&r.features))
+                .collect();
+            let energy_actual: Vec<f64> = test.runs.iter().map(|r| r.energy_per_inst_pj).collect();
 
-        Ok(LoaoResult {
-            workload: held_out,
-            perf_mre: mean_relative_error(&perf_pred, &perf_actual),
-            energy_mre: mean_relative_error(&energy_pred, &energy_actual),
+            Ok(LoaoResult {
+                workload: held_out,
+                perf_mre: mean_relative_error(&perf_pred, &perf_actual),
+                energy_mre: mean_relative_error(&energy_pred, &energy_actual),
+            })
         })
+        .unwrap_or_else(|message| Err(fold_panic(i, held_out, "loao fold", message)))
     });
     folds.into_iter().collect()
 }
@@ -182,27 +202,30 @@ pub fn nmc_suitability_with<X: Executor>(
     exec: &X,
 ) -> Result<Vec<SuitabilityRow>, NapelError> {
     let host = HostModel::power9(scale);
-    let rows = exec.map(&set.workloads(), |_, &held_out| {
-        let train = set.filtered(|w| w != held_out);
-        let trained = Napel::new(config.clone()).train(&train)?;
+    let rows = exec.map(&set.workloads(), |i, &held_out| {
+        catch_job_panic(|| {
+            let train = set.filtered(|w| w != held_out);
+            let trained = Napel::new(config.clone()).train(&train)?;
 
-        let trace = held_out.generate_test(scale);
-        let profile = ApplicationProfile::of(&trace);
-        let instructions = trace.total_insts() as u64;
+            let trace = held_out.generate_test(scale);
+            let profile = ApplicationProfile::of(&trace);
+            let instructions = trace.total_insts() as u64;
 
-        let pred = trained.predict(&profile, arch);
-        let report = NmcSystem::new(arch.clone()).run(&trace);
-        let host_report = host.evaluate(&profile);
+            let pred = trained.predict(&profile, arch);
+            let report = NmcSystem::new(arch.clone()).run(&trace);
+            let host_report = host.evaluate(&profile);
 
-        Ok(SuitabilityRow {
-            workload: held_out,
-            host_time_s: host_report.exec_time_seconds,
-            host_energy_j: host_report.energy_joules,
-            nmc_pred_time_s: pred.exec_time_seconds(instructions),
-            nmc_pred_energy_j: pred.energy_joules(instructions),
-            nmc_actual_time_s: report.exec_time_seconds(),
-            nmc_actual_energy_j: report.energy_joules(),
+            Ok(SuitabilityRow {
+                workload: held_out,
+                host_time_s: host_report.exec_time_seconds,
+                host_energy_j: host_report.energy_joules,
+                nmc_pred_time_s: pred.exec_time_seconds(instructions),
+                nmc_pred_energy_j: pred.energy_joules(instructions),
+                nmc_actual_time_s: report.exec_time_seconds(),
+                nmc_actual_energy_j: report.energy_joules(),
+            })
         })
+        .unwrap_or_else(|message| Err(fold_panic(i, held_out, "suitability row", message)))
     });
     rows.into_iter().collect()
 }

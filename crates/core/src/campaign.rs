@@ -23,26 +23,47 @@
 //! - [`AnyExecutor::from_env`] selects the executor from the `NAPEL_JOBS`
 //!   environment variable, so every driver binary and library entry point
 //!   gains a uniform parallelism knob.
+//! - [`run_supervised`] is the fault-tolerant runtime on top: each job
+//!   runs inside `catch_unwind`, its labels pass a validation gate before
+//!   entering the training set, failures are retried (bounded,
+//!   deterministic), and — per the configured
+//!   [`FaultPolicy`](crate::fault::FaultPolicy) — either cancel the batch
+//!   with full provenance (fail-fast) or are quarantined while the rest
+//!   of the campaign completes. With a checkpoint journal attached
+//!   ([`crate::checkpoint`]), completed rows are persisted as they
+//!   finish, and a killed campaign resumes recomputing only unfinished
+//!   jobs.
 //!
 //! What is (and is not) deterministic: the labeled rows — workload,
 //! parameters, features, instruction counts, IPC and energy labels — and
-//! their order are bit-identical across executors and worker counts. The
-//! wall-clock fields of [`CollectStats`] are measurements and naturally
-//! vary run to run; under a threaded executor they sum per-phase CPU time
-//! across workers, not elapsed time.
+//! their order are bit-identical across executors and worker counts,
+//! *including under faults*: whether a job fails is a pure function of
+//! the job, so the surviving row set and the quarantine report match
+//! between serial and threaded runs, and a checkpoint-resumed campaign
+//! reproduces an uninterrupted one bit for bit. The wall-clock fields of
+//! [`CollectStats`] are measurements and naturally vary run to run; under
+//! a threaded executor they sum per-phase CPU time across workers, not
+//! elapsed time.
 
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Once, OnceLock};
 use std::time::Instant;
 
 use napel_pisa::ApplicationProfile;
 use napel_workloads::{Scale, Workload};
 use nmc_sim::{ArchConfig, NmcSystem};
 
+use crate::checkpoint::CheckpointJournal;
 use crate::collect::{doe_points, CollectionPlan};
+use crate::fault::{
+    CampaignOptions, CampaignReport, FaultInjector, FaultPolicy, JobFailure, JobFailureKind,
+    JobOutcome, JobStatus,
+};
 use crate::features::{CollectStats, LabeledRun};
+use crate::NapelError;
 
 // The engine moves these across thread boundaries; keep the contract
 // explicit so an accidental `Rc`/`RefCell` in a substrate crate fails
@@ -55,6 +76,10 @@ const _: () = {
     assert_send_sync::<CollectStats>();
     assert_send_sync::<crate::features::TrainingSet>();
     assert_send_sync::<crate::NapelError>();
+    assert_send_sync::<CheckpointJournal>();
+    assert_send_sync::<CampaignOptions>();
+    assert_send_sync::<CampaignReport>();
+    assert_send_sync::<JobOutcome>();
 };
 
 /// One unit of phase-② work: simulate one workload at one DoE point on
@@ -72,6 +97,64 @@ pub struct SimJob {
     pub arch: ArchConfig,
     /// Input-shrinking policy.
     pub scale: Scale,
+}
+
+impl SimJob {
+    /// The job's full descriptor: everything its result is a function of
+    /// (workload, DoE coordinates by bit pattern, every architecture
+    /// field, scale) — deliberately *excluding* the batch index, so the
+    /// same work is recognized across differently-shaped batches.
+    fn descriptor(&self) -> String {
+        let coord_bits: Vec<u64> = self.coords.iter().map(|c| c.to_bits()).collect();
+        format!(
+            "{} coords={:?} arch={:?} scale=({},{},{})",
+            self.workload.name(),
+            coord_bits,
+            self.arch,
+            self.scale.dim_div,
+            self.scale.data_div,
+            self.scale.max_iters
+        )
+    }
+
+    /// Stable FNV-1a hash of the job descriptor — the checkpoint-journal
+    /// key. Two jobs share a hash exactly when they describe the same
+    /// work (e.g. CCD center replicates), in which case restoring either
+    /// from the other's journal entry is correct: jobs are pure functions
+    /// of their descriptor.
+    pub fn descriptor_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.descriptor().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Human-readable provenance, for failure reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} @ {:?} on {:?} at scale ({},{},{})",
+            self.workload.name(),
+            self.coords,
+            self.arch,
+            self.scale.dim_div,
+            self.scale.data_div,
+            self.scale.max_iters
+        )
+    }
+
+    /// The provenance-carrying failure record for this job.
+    fn failure(&self, attempts: u32, kind: JobFailureKind) -> JobFailure {
+        JobFailure {
+            index: self.index,
+            workload: self.workload.name().to_string(),
+            params: self.coords.clone(),
+            arch: format!("{:?}", self.arch),
+            attempts,
+            kind,
+        }
+    }
 }
 
 /// Strategy for running a batch of independent work items.
@@ -155,6 +238,20 @@ impl Executor for Threaded {
             return Serial.map(items, f);
         }
         let cursor = AtomicUsize::new(0);
+        // A panicking worker poisons the cursor on its way down (the
+        // guard's Drop runs during unwinding), so the surviving workers
+        // stop claiming new work instead of finishing the rest of the
+        // batch before the panic can re-raise: a failure at job 3 of 500
+        // must not burn CPU on the other 497 first.
+        let poisoned = AtomicBool::new(false);
+        struct PoisonOnUnwind<'a>(&'a AtomicBool);
+        impl Drop for PoisonOnUnwind<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.store(true, Ordering::Release);
+                }
+            }
+        }
         let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(items.len(), || None);
         std::thread::scope(|scope| {
@@ -162,12 +259,15 @@ impl Executor for Threaded {
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local: Vec<(usize, R)> = Vec::new();
-                        loop {
+                        while !poisoned.load(Ordering::Acquire) {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
                                 break;
                             }
-                            local.push((i, f(i, &items[i])));
+                            let guard = PoisonOnUnwind(&poisoned);
+                            let r = f(i, &items[i]);
+                            std::mem::forget(guard);
+                            local.push((i, r));
                         }
                         local
                     })
@@ -230,8 +330,8 @@ impl AnyExecutor {
     /// - `1` → [`Serial`],
     /// - `N` → [`Threaded`] with `N` workers.
     ///
-    /// Unparsable values fall back to serial rather than aborting a long
-    /// campaign over a typo.
+    /// Unparsable values warn once on stderr and fall back to serial
+    /// rather than aborting a long campaign over a typo.
     pub fn from_env() -> Self {
         match std::env::var("NAPEL_JOBS") {
             Ok(spec) => Self::from_spec(&spec),
@@ -239,19 +339,37 @@ impl AnyExecutor {
         }
     }
 
-    /// Parses a `NAPEL_JOBS`-style specification (see [`Self::from_env`]).
-    pub fn from_spec(spec: &str) -> Self {
+    /// Strictly parses a `NAPEL_JOBS`-style specification (see
+    /// [`Self::from_env`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the bad specification.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
         let spec = spec.trim();
         if spec.is_empty() {
-            return Self::serial();
+            return Ok(Self::serial());
         }
         if spec.eq_ignore_ascii_case("auto") {
-            return Self::with_jobs(0);
+            return Ok(Self::with_jobs(0));
         }
         match spec.parse::<usize>() {
-            Ok(n) => Self::with_jobs(n),
-            Err(_) => Self::serial(),
+            Ok(n) => Ok(Self::with_jobs(n)),
+            Err(_) => Err(format!(
+                "unparsable jobs spec `{spec}` (expected `auto` or a worker count)"
+            )),
         }
+    }
+
+    /// Parses a `NAPEL_JOBS`-style specification, warning **once** on
+    /// stderr — naming the bad spec and the serial fallback — instead of
+    /// silently running a typo'd `NAPEL_JOBS=8x` campaign single-threaded.
+    pub fn from_spec(spec: &str) -> Self {
+        Self::parse_spec(spec).unwrap_or_else(|msg| {
+            static WARNED: Once = Once::new();
+            WARNED.call_once(|| eprintln!("napel: {msg}; falling back to serial execution"));
+            Self::serial()
+        })
     }
 }
 
@@ -371,6 +489,13 @@ impl ProfileCache {
         self.entries.is_empty()
     }
 
+    /// Number of points actually generated and profiled so far — a
+    /// job-execution counter: checkpoint-restored jobs never touch the
+    /// cache, so a resumed campaign's count covers only recomputed work.
+    pub fn materialized(&self) -> usize {
+        self.entries.values().filter(|c| c.get().is_some()).count()
+    }
+
     /// Generate/profile time summed over the points that were actually
     /// materialized (each counted once, however many jobs shared it).
     fn analysis_stats(&self) -> CollectStats {
@@ -413,28 +538,224 @@ pub fn plan_jobs(plan: &CollectionPlan) -> Vec<SimJob> {
 /// Runs a job batch on `exec`, returning labeled rows in job-index order
 /// plus campaign timing.
 ///
-/// Kernel analyses are shared through a [`ProfileCache`]; simulation runs
-/// per job. The returned rows are executor-independent (see the module
-/// docs for the exact determinism guarantee).
+/// Thin fail-fast wrapper over [`run_supervised`] with default
+/// [`CampaignOptions`]: a job failure (panic or invalid label) re-raises
+/// in the caller as a panic carrying the job's provenance. Use
+/// [`run_supervised`] directly for quarantine semantics, retries, or
+/// checkpointing.
 pub fn run_jobs<E: Executor>(exec: &E, jobs: &[SimJob]) -> (Vec<LabeledRun>, CollectStats) {
+    let (rows, report) = run_supervised(exec, jobs, &CampaignOptions::default())
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+    (rows, report.stats)
+}
+
+/// Runs a job batch under supervision: every job executes inside
+/// `catch_unwind`, panicking jobs get `opts.retries` deterministic extra
+/// attempts, completed rows must pass the label-validation gate
+/// ([`LabeledRun::validate`]) before they are returned, and a checkpoint
+/// journal — when configured — persists rows as they complete and
+/// restores them on the next run.
+///
+/// Returns the surviving rows in job-index order plus a
+/// [`CampaignReport`] itemizing every job's [`JobOutcome`].
+///
+/// Under [`FaultPolicy::FailFast`] the first failure (lowest job index)
+/// cancels the batch — in-flight workers finish their current job, queued
+/// jobs are skipped — and surfaces as [`NapelError::Job`]. Under
+/// [`FaultPolicy::Quarantine`] the campaign completes; failures are
+/// excluded from the rows and itemized in the report.
+///
+/// # Errors
+///
+/// [`NapelError::Checkpoint`] if the journal cannot be opened, and
+/// [`NapelError::Job`] for a fail-fast failure.
+pub fn run_supervised<E: Executor>(
+    exec: &E,
+    jobs: &[SimJob],
+    opts: &CampaignOptions,
+) -> Result<(Vec<LabeledRun>, CampaignReport), NapelError> {
+    let journal = match &opts.checkpoint {
+        Some(path) => Some(CheckpointJournal::open(path)?),
+        None => None,
+    };
     let cache = ProfileCache::for_jobs(jobs);
-    let results: Vec<(LabeledRun, f64)> = exec.map(jobs, |_, job| {
-        let point = cache.profiled(job);
-        let t = Instant::now();
-        let report = NmcSystem::new(job.arch.clone()).run(&point.trace);
-        let simulate_seconds = t.elapsed().as_secs_f64();
-        let run = LabeledRun::from_report(
-            job.workload,
-            job.coords.clone(),
-            &point.profile,
-            &job.arch,
-            &report,
-        );
-        (run, simulate_seconds)
+    let cancel = AtomicBool::new(false);
+    let results: Vec<(JobOutcome, Option<LabeledRun>, f64)> = exec.map(jobs, |_, job| {
+        run_one(job, &cache, journal.as_ref(), opts, &cancel)
     });
+
+    let mut rows = Vec::with_capacity(jobs.len());
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    let mut quarantined = Vec::new();
+    let mut restored = 0;
     let mut stats = cache.analysis_stats();
-    stats.simulate_seconds = results.iter().map(|(_, s)| s).sum();
-    (results.into_iter().map(|(run, _)| run).collect(), stats)
+    for (outcome, row, simulate_seconds) in results {
+        stats.simulate_seconds += simulate_seconds;
+        match &outcome.status {
+            JobStatus::Completed => rows.push(row.expect("completed job has a row")),
+            JobStatus::Restored => {
+                restored += 1;
+                rows.push(row.expect("restored job has a row"));
+            }
+            JobStatus::Failed(kind) => {
+                quarantined.push(jobs[outcome.index].failure(outcome.attempts, kind.clone()));
+            }
+            JobStatus::Skipped => {}
+        }
+        outcomes.push(outcome);
+    }
+    if opts.policy == FaultPolicy::FailFast {
+        // Quarantined entries arrive in index order (exec.map returns
+        // item order), so the first is the lowest-index failure — the
+        // deterministic choice even when a threaded run fails several
+        // jobs before the cancellation lands.
+        if !quarantined.is_empty() {
+            return Err(NapelError::Job(quarantined.remove(0)));
+        }
+    }
+    Ok((
+        rows,
+        CampaignReport {
+            outcomes,
+            quarantined,
+            restored,
+            stats,
+        },
+    ))
+}
+
+/// Supervises one job: checkpoint restore, bounded retries around the
+/// panic-catching execution, label validation, journaling, and fail-fast
+/// cancellation.
+fn run_one(
+    job: &SimJob,
+    cache: &ProfileCache,
+    journal: Option<&CheckpointJournal>,
+    opts: &CampaignOptions,
+    cancel: &AtomicBool,
+) -> (JobOutcome, Option<LabeledRun>, f64) {
+    let outcome = |status, attempts, seconds| JobOutcome {
+        index: job.index,
+        status,
+        attempts,
+        seconds,
+    };
+    if cancel.load(Ordering::Acquire) {
+        return (outcome(JobStatus::Skipped, 0, 0.0), None, 0.0);
+    }
+    let hash = job.descriptor_hash();
+    if let Some(journal) = journal {
+        if let Some(run) = journal.restored(hash) {
+            return (outcome(JobStatus::Restored, 0, 0.0), Some(run.clone()), 0.0);
+        }
+    }
+    let start = Instant::now();
+    let mut attempts = 0u32;
+    loop {
+        let attempt = attempts;
+        attempts += 1;
+        let result = catch_job_panic(|| execute_job(job, cache, opts.injector.as_ref(), attempt));
+        let kind = match result {
+            Ok(Ok((run, simulate_seconds))) => {
+                if let Some(journal) = journal {
+                    journal.record(hash, &run);
+                }
+                let seconds = start.elapsed().as_secs_f64();
+                return (
+                    outcome(JobStatus::Completed, attempts, seconds),
+                    Some(run),
+                    simulate_seconds,
+                );
+            }
+            // Invalid labels and schema mismatches are deterministic —
+            // retrying replays the same result, so fail immediately.
+            Ok(Err(kind)) => kind,
+            Err(panic_message) => {
+                if attempts <= opts.retries {
+                    continue;
+                }
+                JobFailureKind::Panic(panic_message)
+            }
+        };
+        if opts.policy == FaultPolicy::FailFast {
+            cancel.store(true, Ordering::Release);
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        return (
+            outcome(JobStatus::Failed(kind), attempts, seconds),
+            None,
+            0.0,
+        );
+    }
+}
+
+/// One attempt at a job's actual work: kernel analysis (through the
+/// cache), simulation, checked feature assembly, fault injection (when
+/// configured), and the label-validation gate.
+fn execute_job(
+    job: &SimJob,
+    cache: &ProfileCache,
+    injector: Option<&FaultInjector>,
+    attempt: u32,
+) -> Result<(LabeledRun, f64), JobFailureKind> {
+    if let Some(injector) = injector {
+        injector.maybe_panic(job.index, attempt);
+    }
+    let point = cache.profiled(job);
+    let t = Instant::now();
+    let report = NmcSystem::new(job.arch.clone()).run(&point.trace);
+    let simulate_seconds = t.elapsed().as_secs_f64();
+    let mut run = LabeledRun::from_report_checked(
+        job.workload,
+        job.coords.clone(),
+        &point.profile,
+        &job.arch,
+        &report,
+    )
+    .map_err(|e| JobFailureKind::Schema(e.to_string()))?;
+    if let Some(injector) = injector {
+        injector.corrupt(job.index, &mut run);
+    }
+    run.validate(&job.arch)
+        .map_err(JobFailureKind::InvalidLabel)?;
+    Ok((run, simulate_seconds))
+}
+
+/// Runs `f` inside `catch_unwind`, rendering a panic payload to text.
+/// While `f` runs, the process panic hook is hushed *for this thread*, so
+/// an expected (caught, quarantined) panic does not spray a backtrace
+/// onto stderr; panics on other threads print as usual.
+pub(crate) fn catch_job_panic<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    use std::cell::Cell;
+    thread_local! {
+        static HUSHED: Cell<bool> = const { Cell::new(false) };
+    }
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !HUSHED.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    struct Unhush;
+    impl Drop for Unhush {
+        fn drop(&mut self) {
+            HUSHED.with(|h| h.set(false));
+        }
+    }
+    HUSHED.with(|h| h.set(true));
+    let _unhush = Unhush;
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
 }
 
 #[cfg(test)]
@@ -506,6 +827,134 @@ mod tests {
         ));
         assert_eq!(AnyExecutor::from_spec("lots"), AnyExecutor::serial());
         assert!(AnyExecutor::from_spec("4").workers() == 4);
+    }
+
+    #[test]
+    fn bad_jobs_specs_are_errors_not_silent_serial() {
+        // The strict parser names the bad spec; `from_spec` still falls
+        // back to serial (with a one-time stderr warning) so a typo
+        // cannot abort a long campaign.
+        for bad in ["8x", "lots", "-2", "3.5", "auto8"] {
+            let err = AnyExecutor::parse_spec(bad).unwrap_err();
+            assert!(err.contains(&format!("`{bad}`")), "{err}");
+            assert_eq!(AnyExecutor::from_spec(bad), AnyExecutor::serial());
+        }
+        assert_eq!(
+            AnyExecutor::parse_spec("auto"),
+            Ok(AnyExecutor::with_jobs(0))
+        );
+        assert_eq!(
+            AnyExecutor::parse_spec(" 2 "),
+            Ok(AnyExecutor::with_jobs(2))
+        );
+    }
+
+    #[test]
+    fn poisoned_cursor_stops_claiming_after_a_panic() {
+        let items: Vec<usize> = (0..500).collect();
+        let executed = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Threaded::new(4).map(&items, |_, &x| {
+                assert!(x != 3, "boom at 3");
+                executed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                x
+            })
+        }));
+        assert!(caught.is_err(), "panic must still re-raise");
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(
+            ran < items.len() - 1,
+            "workers kept claiming jobs after the panic: {ran} of 500 ran"
+        );
+    }
+
+    #[test]
+    fn descriptor_hash_ignores_index_but_not_work() {
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax],
+            arch_configs: arch_neighborhood().into_iter().take(2).collect(),
+            scale: Scale::tiny(),
+            dedup: true,
+        };
+        let jobs = plan_jobs(&plan);
+        let mut relabeled = jobs[0].clone();
+        relabeled.index = 999;
+        assert_eq!(relabeled.descriptor_hash(), jobs[0].descriptor_hash());
+        // Same point, different arch → different work.
+        assert_ne!(jobs[0].descriptor_hash(), jobs[1].descriptor_hash());
+        // Same arch, different point → different work.
+        assert_ne!(jobs[0].descriptor_hash(), jobs[2].descriptor_hash());
+        assert!(jobs[0].describe().contains("atax"));
+    }
+
+    #[test]
+    fn supervised_clean_run_matches_run_jobs() {
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax],
+            arch_configs: arch_neighborhood().into_iter().take(2).collect(),
+            scale: Scale::tiny(),
+            dedup: true,
+        };
+        let jobs = plan_jobs(&plan);
+        let (plain_rows, _) = run_jobs(&Serial, &jobs);
+        let (rows, report) =
+            run_supervised(&Serial, &jobs, &CampaignOptions::quarantine()).unwrap();
+        assert_eq!(rows, plain_rows);
+        assert!(report.is_clean());
+        assert_eq!(report.executed(), jobs.len());
+        assert_eq!(report.restored, 0);
+        assert!(report.outcomes.iter().all(|o| o.attempts == 1));
+    }
+
+    #[test]
+    fn fail_fast_cancels_and_names_the_job() {
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax],
+            arch_configs: arch_neighborhood().into_iter().take(2).collect(),
+            scale: Scale::tiny(),
+            dedup: true,
+        };
+        let jobs = plan_jobs(&plan);
+        let opts = CampaignOptions::default().with_injector(FaultInjector::new().panic_at(5));
+        let err = run_supervised(&Serial, &jobs, &opts).unwrap_err();
+        let NapelError::Job(failure) = err else {
+            panic!("expected a job failure, got {err}");
+        };
+        assert_eq!(failure.index, 5);
+        assert_eq!(failure.workload, "atax");
+        assert_eq!(failure.params, jobs[5].coords);
+        assert!(failure.arch.contains("num_pes"), "{}", failure.arch);
+        assert!(matches!(failure.kind, JobFailureKind::Panic(_)));
+    }
+
+    #[test]
+    fn retries_recover_transient_panics_deterministically() {
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax],
+            arch_configs: arch_neighborhood().into_iter().take(1).collect(),
+            scale: Scale::tiny(),
+            dedup: true,
+        };
+        let jobs = plan_jobs(&plan);
+        let clean = run_supervised(&Serial, &jobs, &CampaignOptions::quarantine())
+            .unwrap()
+            .0;
+        let opts = CampaignOptions::quarantine()
+            .with_retries(1)
+            .with_injector(FaultInjector::new().panic_once_at(2));
+        let (rows, report) = run_supervised(&Serial, &jobs, &opts).unwrap();
+        assert_eq!(rows, clean, "a recovered retry must not change output");
+        assert!(report.is_clean());
+        assert_eq!(report.outcomes[2].attempts, 2, "one retry consumed");
+        assert_eq!(report.outcomes[1].attempts, 1);
+
+        // Without the retry budget the same fault quarantines the job.
+        let opts =
+            CampaignOptions::quarantine().with_injector(FaultInjector::new().panic_once_at(2));
+        let (rows, report) = run_supervised(&Serial, &jobs, &opts).unwrap();
+        assert_eq!(report.quarantined_indices(), vec![2]);
+        assert_eq!(rows.len(), jobs.len() - 1);
     }
 
     #[test]

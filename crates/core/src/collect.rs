@@ -11,8 +11,10 @@ use napel_doe::{DesignPoint, ParamDef, ParamSpace};
 use napel_workloads::{Scale, Workload, WorkloadSpec};
 use nmc_sim::ArchConfig;
 
-use crate::campaign::{plan_jobs, run_jobs, AnyExecutor, Executor};
+use crate::campaign::{plan_jobs, run_jobs, run_supervised, AnyExecutor, Executor};
+use crate::fault::{CampaignOptions, CampaignReport};
 use crate::features::{combined_feature_names, CollectStats, LabeledRun, TrainingSet};
+use crate::NapelError;
 
 /// What to simulate.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,24 +77,64 @@ pub fn doe_config_count(spec: &WorkloadSpec) -> usize {
 
 /// Runs the campaign of `plan`, returning the labeled training set.
 ///
-/// Thin wrapper over [`collect_with`] using the executor selected by the
-/// `NAPEL_JOBS` environment variable (serial by default); see
-/// [`crate::campaign`].
+/// Thin wrapper over [`collect_supervised`] using the executor selected
+/// by the `NAPEL_JOBS` environment variable (serial by default) and the
+/// campaign options from the environment — so `NAPEL_CHECKPOINT=path`
+/// journal-checkpoints (and resumes) any campaign without code changes;
+/// see [`crate::campaign`] and [`crate::fault`].
+///
+/// # Panics
+///
+/// Panics with the failing job's provenance under the (default)
+/// fail-fast policy; use [`collect_supervised`] to handle failures as
+/// values.
 pub fn collect(plan: &CollectionPlan) -> TrainingSet {
-    collect_with(plan, &AnyExecutor::from_env())
+    let (set, _) = collect_supervised(plan, &AnyExecutor::from_env(), &CampaignOptions::from_env())
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+    set
 }
 
 /// Runs the campaign of `plan` on `exec`, returning the labeled training
 /// set. Rows come back in workload-major, DoE-point-major,
 /// architecture-minor order regardless of the executor.
+///
+/// # Panics
+///
+/// Panics with the failing job's provenance on a job failure; use
+/// [`collect_supervised`] to handle failures as values.
 pub fn collect_with<E: Executor>(plan: &CollectionPlan, exec: &E) -> TrainingSet {
+    let (set, _) = collect_supervised(plan, exec, &CampaignOptions::default())
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+    set
+}
+
+/// Runs the campaign of `plan` on `exec` under the supervised,
+/// fault-tolerant runtime: per-job panic isolation, the label-validation
+/// gate, bounded retries, quarantine or fail-fast semantics, and
+/// checkpoint/resume — all per `opts`. Returns the training set (failed
+/// jobs excluded under quarantine) plus the [`CampaignReport`] itemizing
+/// every job outcome.
+///
+/// # Errors
+///
+/// [`NapelError::Job`] for a fail-fast job failure (with the job's
+/// provenance) and [`NapelError::Checkpoint`] if the journal cannot be
+/// opened.
+pub fn collect_supervised<E: Executor>(
+    plan: &CollectionPlan,
+    exec: &E,
+    opts: &CampaignOptions,
+) -> Result<(TrainingSet, CampaignReport), NapelError> {
     let jobs = plan_jobs(plan);
-    let (runs, stats) = run_jobs(exec, &jobs);
-    TrainingSet {
-        feature_names: combined_feature_names(),
-        runs,
-        stats,
-    }
+    let (runs, report) = run_supervised(exec, &jobs, opts)?;
+    Ok((
+        TrainingSet {
+            feature_names: combined_feature_names(),
+            runs,
+            stats: report.stats,
+        },
+        report,
+    ))
 }
 
 /// Runs the campaign for a single application (used per-app by Table 4),
@@ -242,6 +284,27 @@ mod tests {
         for pair in base.windows(2) {
             assert_ne!(pair[0].params, pair[1].params);
         }
+    }
+
+    #[test]
+    fn quarantine_excludes_bad_labels_but_completes() {
+        use crate::fault::FaultInjector;
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax],
+            scale: Scale::tiny(),
+            ..Default::default()
+        };
+        let clean = collect_with(&plan, &crate::campaign::Serial);
+        let opts =
+            CampaignOptions::quarantine().with_injector(FaultInjector::new().nan_label_at(4));
+        let (set, report) = collect_supervised(&plan, &crate::campaign::Serial, &opts).unwrap();
+        assert_eq!(report.quarantined_indices(), vec![4]);
+        assert_eq!(set.runs.len(), clean.runs.len() - 1);
+        let mut expected = clean.runs.clone();
+        expected.remove(4);
+        assert_eq!(set.runs, expected, "survivors must be untouched");
+        // The quarantined set still trains.
+        assert!(set.ipc_dataset().is_ok());
     }
 
     #[test]

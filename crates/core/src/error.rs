@@ -6,6 +6,8 @@ use std::fmt;
 use napel_doe::DesignError;
 use napel_ml::MlError;
 
+use crate::fault::JobFailure;
+
 /// Error from the NAPEL pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NapelError {
@@ -18,6 +20,24 @@ pub enum NapelError {
         /// What was wrong.
         what: String,
     },
+    /// A campaign job failed (panicked, or produced labels that failed
+    /// the validation gate). Carries the job's full provenance — which
+    /// workload at which DoE point on which architecture — so a failure
+    /// in job 317 of 500 is diagnosable without rerunning the campaign.
+    Job(JobFailure),
+    /// The checkpoint journal could not be opened or replayed.
+    Checkpoint {
+        /// Journal path.
+        path: String,
+        /// What went wrong.
+        what: String,
+    },
+    /// A profile/architecture feature schema mismatch: a feature vector
+    /// and the declared feature names disagree.
+    FeatureSchema {
+        /// What was inconsistent.
+        what: String,
+    },
 }
 
 impl fmt::Display for NapelError {
@@ -26,6 +46,11 @@ impl fmt::Display for NapelError {
             NapelError::Design(e) => write!(f, "design of experiments failed: {e}"),
             NapelError::Ml(e) => write!(f, "model training failed: {e}"),
             NapelError::BadTrainingSet { what } => write!(f, "bad training set: {what}"),
+            NapelError::Job(failure) => write!(f, "campaign job failed: {failure}"),
+            NapelError::Checkpoint { path, what } => {
+                write!(f, "checkpoint journal `{path}`: {what}")
+            }
+            NapelError::FeatureSchema { what } => write!(f, "feature schema mismatch: {what}"),
         }
     }
 }
@@ -35,7 +60,10 @@ impl Error for NapelError {
         match self {
             NapelError::Design(e) => Some(e),
             NapelError::Ml(e) => Some(e),
-            NapelError::BadTrainingSet { .. } => None,
+            NapelError::Job(failure) => Some(failure),
+            NapelError::BadTrainingSet { .. }
+            | NapelError::Checkpoint { .. }
+            | NapelError::FeatureSchema { .. } => None,
         }
     }
 }
@@ -52,9 +80,52 @@ impl From<MlError> for NapelError {
     }
 }
 
+impl From<JobFailure> for NapelError {
+    fn from(e: JobFailure) -> Self {
+        NapelError::Job(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::JobFailureKind;
+
+    #[test]
+    fn job_failures_carry_provenance_through_the_chain() {
+        let failure = JobFailure {
+            index: 317,
+            workload: "atax".into(),
+            params: vec![1800.0, 14.0],
+            arch: "ArchConfig { num_pes: 32, .. }".into(),
+            attempts: 2,
+            kind: JobFailureKind::Panic("boom".into()),
+        };
+        let e: NapelError = failure.into();
+        let msg = e.to_string();
+        assert!(msg.contains("job 317"), "{msg}");
+        assert!(msg.contains("atax"), "{msg}");
+        assert!(msg.contains("1800"), "{msg}");
+        assert!(msg.contains("num_pes"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        // The chain bottoms out at the failure kind.
+        let source = e.source().expect("JobFailure is the source");
+        assert!(source.source().is_some(), "kind is the root cause");
+    }
+
+    #[test]
+    fn checkpoint_and_schema_errors_render() {
+        let e = NapelError::Checkpoint {
+            path: "/tmp/j".into(),
+            what: "permission denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/j"));
+        assert!(e.source().is_none());
+        let e = NapelError::FeatureSchema {
+            what: "unknown profile feature `x`".into(),
+        };
+        assert!(e.to_string().contains("`x`"));
+    }
 
     #[test]
     fn conversions_and_sources() {

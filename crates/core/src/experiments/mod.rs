@@ -30,8 +30,10 @@ pub mod table4;
 use napel_workloads::{Scale, Workload};
 
 use crate::campaign::{AnyExecutor, Executor};
-use crate::collect::{collect_with, CollectionPlan};
+use crate::collect::{collect_supervised, collect_with, CollectionPlan};
+use crate::fault::{CampaignOptions, CampaignReport};
 use crate::features::TrainingSet;
+use crate::NapelError;
 
 /// Shared experiment context: one training-data collection reused by every
 /// figure.
@@ -61,16 +63,48 @@ impl Context {
 
     /// [`Context::build`] with an explicit campaign executor.
     pub fn build_with<E: Executor>(scale: Scale, seed: u64, exec: &E) -> Self {
-        let neighborhood = crate::collect::arch_neighborhood();
-        let plan = CollectionPlan {
-            scale,
-            arch_configs: neighborhood.into_iter().take(3).collect(),
-            ..CollectionPlan::default()
-        };
         Context {
             scale,
             seed,
-            training: collect_with(&plan, exec),
+            training: collect_with(&Self::full_plan(scale), exec),
+        }
+    }
+
+    /// [`Context::build`] under the supervised, fault-tolerant campaign
+    /// runtime: the collection honors `opts` (fail policy, retries,
+    /// checkpoint journal) and the returned [`CampaignReport`] itemizes
+    /// every job — restored-from-checkpoint counts, quarantined failures,
+    /// timing.
+    ///
+    /// # Errors
+    ///
+    /// [`NapelError::Job`] on a fail-fast job failure and
+    /// [`NapelError::Checkpoint`] if the journal cannot be opened.
+    pub fn build_supervised<E: Executor>(
+        scale: Scale,
+        seed: u64,
+        exec: &E,
+        opts: &CampaignOptions,
+    ) -> Result<(Self, CampaignReport), NapelError> {
+        let (training, report) = collect_supervised(&Self::full_plan(scale), exec, opts)?;
+        Ok((
+            Context {
+                scale,
+                seed,
+                training,
+            },
+            report,
+        ))
+    }
+
+    /// The full-evaluation collection plan behind [`Context::build`]: all
+    /// twelve applications, three architectures around the Table 3 design.
+    fn full_plan(scale: Scale) -> CollectionPlan {
+        let neighborhood = crate::collect::arch_neighborhood();
+        CollectionPlan {
+            scale,
+            arch_configs: neighborhood.into_iter().take(3).collect(),
+            ..CollectionPlan::default()
         }
     }
 

@@ -20,11 +20,53 @@ pub fn combined_feature_names() -> Vec<String> {
     names
 }
 
-/// Builds the combined feature vector for one (profile, architecture) pair.
-pub fn combined_features(profile: &ApplicationProfile, arch: &ArchConfig) -> Vec<f64> {
-    let mut v = profile.values().to_vec();
+/// Builds the combined feature vector for one (profile, architecture)
+/// pair, checking the profile against the PISA feature schema: every
+/// value is looked up by name ([`ApplicationProfile::try_value`]), so a
+/// schema mismatch — a profile built against a different feature list —
+/// is a [`NapelError::FeatureSchema`], not a panic deep inside a
+/// campaign.
+///
+/// # Errors
+///
+/// Returns [`NapelError::FeatureSchema`] if the profile's length differs
+/// from the schema or a named feature is missing.
+pub fn combined_features_checked(
+    profile: &ApplicationProfile,
+    arch: &ArchConfig,
+) -> Result<Vec<f64>, NapelError> {
+    let names = napel_pisa::feature_names();
+    if profile.values().len() != names.len() {
+        return Err(NapelError::FeatureSchema {
+            what: format!(
+                "profile has {} values but the schema names {}",
+                profile.values().len(),
+                names.len()
+            ),
+        });
+    }
+    let mut v = Vec::with_capacity(names.len() + ArchConfig::feature_names().len());
+    for name in names {
+        v.push(
+            profile
+                .try_value(name)
+                .ok_or_else(|| NapelError::FeatureSchema {
+                    what: format!("unknown profile feature `{name}`"),
+                })?,
+        );
+    }
     v.extend(arch.to_features());
-    v
+    Ok(v)
+}
+
+/// Builds the combined feature vector for one (profile, architecture) pair.
+///
+/// # Panics
+///
+/// Panics on a profile/schema mismatch; campaign code goes through
+/// [`combined_features_checked`] instead, which quarantines the job.
+pub fn combined_features(profile: &ApplicationProfile, arch: &ArchConfig) -> Vec<f64> {
+    combined_features_checked(profile, arch).expect("profile matches the PISA feature schema")
 }
 
 /// One simulated, labeled run: the `(p, a) → response` triple.
@@ -48,6 +90,11 @@ pub struct LabeledRun {
 
 impl LabeledRun {
     /// Builds a labeled run from a simulation report.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a profile/schema mismatch; see
+    /// [`Self::from_report_checked`].
     pub fn from_report(
         workload: Workload,
         params: Vec<f64>,
@@ -55,19 +102,71 @@ impl LabeledRun {
         arch: &ArchConfig,
         report: &SimReport,
     ) -> Self {
+        Self::from_report_checked(workload, params, profile, arch, report)
+            .expect("profile matches the PISA feature schema")
+    }
+
+    /// Builds a labeled run from a simulation report, propagating a
+    /// feature-schema mismatch instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NapelError::FeatureSchema`] on a profile/schema mismatch.
+    pub fn from_report_checked(
+        workload: Workload,
+        params: Vec<f64>,
+        profile: &ApplicationProfile,
+        arch: &ArchConfig,
+        report: &SimReport,
+    ) -> Result<Self, NapelError> {
         let epi = if report.instructions == 0 {
             0.0
         } else {
             report.energy.total_pj() / report.instructions as f64
         };
-        LabeledRun {
+        Ok(LabeledRun {
             workload,
             params,
-            features: combined_features(profile, arch),
+            features: combined_features_checked(profile, arch)?,
             instructions: report.instructions,
             ipc: report.ipc(),
             energy_per_inst_pj: epi,
+        })
+    }
+
+    /// The label-validation gate: checks this row before it may enter a
+    /// [`TrainingSet`]. A row is valid when every feature is finite, the
+    /// IPC label lies in `(0, issue_width · num_pes]` (the architecture's
+    /// aggregate issue bandwidth — no simulator can legally exceed it),
+    /// and the energy label is finite and positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint; the campaign runtime wraps it into a
+    /// [`crate::fault::JobFailureKind::InvalidLabel`] naming the
+    /// offending job.
+    pub fn validate(&self, arch: &ArchConfig) -> Result<(), String> {
+        if let Some(i) = self.features.iter().position(|v| !v.is_finite()) {
+            return Err(format!("feature {i} is non-finite ({})", self.features[i]));
         }
+        let max_ipc = (arch.issue_width * arch.num_pes) as f64;
+        if !self.ipc.is_finite() {
+            return Err(format!("IPC label is non-finite ({})", self.ipc));
+        }
+        if self.ipc <= 0.0 || self.ipc > max_ipc {
+            return Err(format!(
+                "IPC label {} outside (0, {max_ipc}] (issue_width {} × {} PEs)",
+                self.ipc, arch.issue_width, arch.num_pes
+            ));
+        }
+        if !self.energy_per_inst_pj.is_finite() || self.energy_per_inst_pj <= 0.0 {
+            return Err(format!(
+                "energy label {} pJ/inst is not positive and finite",
+                self.energy_per_inst_pj
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -196,6 +295,51 @@ mod tests {
     fn combined_names_align_with_values() {
         let r = tiny_run(Workload::Atax);
         assert_eq!(r.features.len(), combined_feature_names().len());
+    }
+
+    #[test]
+    fn validation_gate_accepts_real_rows_and_rejects_corrupt_ones() {
+        let arch = ArchConfig::paper_default();
+        let good = tiny_run(Workload::Atax);
+        assert_eq!(good.validate(&arch), Ok(()));
+
+        let mut nan_ipc = good.clone();
+        nan_ipc.ipc = f64::NAN;
+        assert!(nan_ipc.validate(&arch).unwrap_err().contains("IPC"));
+
+        let mut zero_ipc = good.clone();
+        zero_ipc.ipc = 0.0;
+        assert!(zero_ipc.validate(&arch).unwrap_err().contains("outside"));
+
+        let mut wild_ipc = good.clone();
+        wild_ipc.ipc = (arch.issue_width * arch.num_pes) as f64 + 1.0;
+        assert!(wild_ipc.validate(&arch).unwrap_err().contains("outside"));
+
+        let mut bad_energy = good.clone();
+        bad_energy.energy_per_inst_pj = -1.0;
+        assert!(bad_energy.validate(&arch).unwrap_err().contains("energy"));
+
+        let mut bad_feature = good.clone();
+        bad_feature.features[3] = f64::INFINITY;
+        assert!(bad_feature
+            .validate(&arch)
+            .unwrap_err()
+            .contains("feature 3"));
+    }
+
+    #[test]
+    fn checked_features_match_unchecked() {
+        let run = tiny_run(Workload::Atax);
+        let mut t = napel_ir::MultiTrace::new(1);
+        let mut e = napel_ir::Emitter::new(t.thread_sink(0));
+        let x = e.load(0, 0, 8);
+        e.store(1, 8, 8, x);
+        drop(e);
+        let profile = ApplicationProfile::of(&t);
+        let arch = ArchConfig::paper_default();
+        let checked = combined_features_checked(&profile, &arch).unwrap();
+        assert_eq!(checked, combined_features(&profile, &arch));
+        assert_eq!(checked.len(), run.features.len());
     }
 
     #[test]

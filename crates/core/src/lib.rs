@@ -24,7 +24,12 @@
 //! Simulation batches — phase-② collection and the leave-one-out folds
 //! built on it — run through the [`campaign`] engine, which can spread
 //! jobs across scoped worker threads (`NAPEL_JOBS=auto` or a count)
-//! while keeping the output bit-identical to a serial run.
+//! while keeping the output bit-identical to a serial run. The engine is
+//! a supervised, fault-tolerant runtime: job panics and invalid labels
+//! are caught with full provenance, optionally quarantined instead of
+//! aborting the campaign ([`fault`]), and an append-only checkpoint
+//! journal ([`checkpoint`], `NAPEL_CHECKPOINT`) lets a killed campaign
+//! resume, recomputing only unfinished jobs.
 //!
 //! # Example
 //!
@@ -53,9 +58,11 @@
 
 pub mod analysis;
 pub mod campaign;
+pub mod checkpoint;
 pub mod collect;
 mod error;
 pub mod experiments;
+pub mod fault;
 pub mod features;
 pub mod model;
 

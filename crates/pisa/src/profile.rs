@@ -121,18 +121,38 @@ impl ApplicationProfile {
         &self.values
     }
 
+    /// Looks up a feature by name, returning `None` if `name` is not a
+    /// profile feature — the fallible twin of [`Self::value`], for
+    /// callers (like the campaign runtime) that must turn a
+    /// feature-schema mismatch into an error instead of a panic.
+    pub fn try_value(&self, name: &str) -> Option<f64> {
+        let idx = *feature_index().get(name)?;
+        self.values.get(idx).copied()
+    }
+
     /// Looks up a feature by name.
     ///
     /// # Panics
     ///
-    /// Panics if `name` is not a profile feature (see [`feature_names`]).
+    /// Panics if `name` is not a profile feature (see [`feature_names`]);
+    /// use [`Self::try_value`] where a mismatch must be recoverable.
     pub fn value(&self, name: &str) -> f64 {
-        let idx = feature_names()
-            .iter()
-            .position(|n| n == name)
-            .unwrap_or_else(|| panic!("unknown profile feature `{name}`"));
-        self.values[idx]
+        self.try_value(name)
+            .unwrap_or_else(|| panic!("unknown profile feature `{name}`"))
     }
+}
+
+/// Name → index map over [`feature_names`], built once: `value`/`try_value`
+/// lookups are O(1), not a linear scan of ~360 names.
+fn feature_index() -> &'static std::collections::HashMap<&'static str, usize> {
+    static INDEX: OnceLock<std::collections::HashMap<&'static str, usize>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        feature_names()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect()
+    })
 }
 
 fn push_cdf(values: &mut Vec<f64>, h: &ReuseHistogram) {
@@ -272,6 +292,17 @@ mod tests {
         let p = ApplicationProfile::of(&streaming_trace(4, 1));
         let r = std::panic::catch_unwind(|| p.value("no.such.feature"));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn try_value_is_the_fallible_twin() {
+        let p = ApplicationProfile::of(&streaming_trace(4, 1));
+        assert_eq!(p.try_value("no.such.feature"), None);
+        assert_eq!(p.try_value("threads"), Some(1.0));
+        // Agrees with the panicking accessor on every known feature.
+        for name in feature_names() {
+            assert_eq!(p.try_value(name), Some(p.value(name)), "{name}");
+        }
     }
 
     #[test]

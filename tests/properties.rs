@@ -3,9 +3,56 @@
 
 use proptest::prelude::*;
 
+use napel::core::checkpoint::{decode_entry, encode_entry, CheckpointJournal};
+use napel::core::features::{combined_feature_names, CollectStats, LabeledRun};
 use napel::pisa::ApplicationProfile;
 use napel::sim::{ArchConfig, NmcSystem};
 use napel::workloads::{Scale, Workload};
+
+/// A strategy over campaign timing accountings with non-negative phases.
+fn stats_strategy() -> impl Strategy<Value = CollectStats> {
+    (0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6).prop_map(|(g, p, s)| CollectStats {
+        generate_seconds: g,
+        profile_seconds: p,
+        simulate_seconds: s,
+    })
+}
+
+/// A strategy over finite labeled rows (what the checkpoint journal
+/// holds). Feature vectors have the real schema arity — the journal
+/// drops any other arity as stale on replay.
+fn labeled_run_strategy() -> impl Strategy<Value = LabeledRun> {
+    let arity = combined_feature_names().len();
+    (
+        0..Workload::ALL.len(),
+        prop::collection::vec(-1e6f64..1e6, 1..5),
+        prop::collection::vec(-1e6f64..1e6, arity..=arity),
+        0u64..1u64 << 50,
+        1e-9f64..32.0,
+        1e-3f64..1e3,
+    )
+        .prop_map(
+            |(w, params, features, instructions, ipc, energy_per_inst_pj)| LabeledRun {
+                workload: Workload::ALL[w],
+                params,
+                features,
+                instructions,
+                ipc,
+                energy_per_inst_pj,
+            },
+        )
+}
+
+/// A fresh journal path per call, unique across tests and processes.
+fn unique_journal_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "napel-props-journal-{}-{n}.ckpt",
+        std::process::id()
+    ))
+}
 
 /// A strategy over (workload, in-range parameter values).
 fn workload_and_params() -> impl Strategy<Value = (Workload, Vec<f64>)> {
@@ -93,6 +140,77 @@ proptest! {
         prop_assert_eq!(base.cycles, scaled.cycles);
         let expect = base.exec_time_seconds() * ArchConfig::paper_default().freq_ghz / freq;
         prop_assert!((scaled.exec_time_seconds() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_stats_merge_is_associative_with_identity(
+        (a, b, c) in (stats_strategy(), stats_strategy(), stats_strategy())
+    ) {
+        // Associativity, up to float-addition noise: (a ⊕ b) ⊕ c ≈ a ⊕ (b ⊕ c).
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0);
+        prop_assert!(close(left.generate_seconds, right.generate_seconds));
+        prop_assert!(close(left.profile_seconds, right.profile_seconds));
+        prop_assert!(close(left.simulate_seconds, right.simulate_seconds));
+
+        // The default accounting is an exact two-sided identity.
+        let mut with_id = a;
+        with_id.merge(&CollectStats::default());
+        prop_assert_eq!(with_id, a);
+        let mut id = CollectStats::default();
+        id.merge(&a);
+        prop_assert_eq!(id, a);
+    }
+
+    #[test]
+    fn checkpoint_entries_round_trip_bit_exactly(
+        run in labeled_run_strategy(),
+        hash in any::<u64>(),
+    ) {
+        let line = encode_entry(hash, &run);
+        prop_assert!(line.ends_with('\n'));
+        let (h, decoded) = decode_entry(line.trim_end()).expect("well-formed entry");
+        prop_assert_eq!(h, hash);
+        prop_assert_eq!(&decoded, &run);
+        for (d, o) in decoded.features.iter().zip(&run.features) {
+            prop_assert_eq!(d.to_bits(), o.to_bits(), "feature restore must be bit-exact");
+        }
+        prop_assert_eq!(decoded.ipc.to_bits(), run.ipc.to_bits());
+    }
+
+    #[test]
+    fn checkpoint_journal_recovers_from_a_corrupt_tail(
+        runs in prop::collection::vec(labeled_run_strategy(), 1..5),
+        cut in 1usize..200,
+    ) {
+        // n intact entries followed by an entry torn mid-write (no
+        // terminator): open() must keep the prefix, drop the tail, and
+        // truncate the file so appends stay well-formed.
+        let path = unique_journal_path();
+        let mut content = String::new();
+        for (i, r) in runs.iter().enumerate() {
+            content.push_str(&encode_entry(i as u64, r));
+        }
+        let torn = encode_entry(u64::MAX, &runs[0]);
+        content.push_str(&torn[..cut.min(torn.len() - 1)]);
+        std::fs::write(&path, &content).unwrap();
+
+        let journal = CheckpointJournal::open(&path).expect("open survives corruption");
+        prop_assert_eq!(journal.len(), runs.len());
+        for (i, r) in runs.iter().enumerate() {
+            prop_assert_eq!(journal.restored(i as u64), Some(r));
+        }
+        drop(journal);
+        let healed = std::fs::read_to_string(&path).unwrap();
+        prop_assert_eq!(healed.lines().count(), runs.len(), "torn tail must be truncated");
+        prop_assert!(healed.is_empty() || healed.ends_with('\n'));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
