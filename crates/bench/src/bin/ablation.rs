@@ -7,13 +7,14 @@ use napel_workloads::Workload;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_telemetry();
     let exec = opts.executor();
 
-    eprintln!("running sampler ablation ({:?})...", opts.scale);
+    napel_telemetry::info!("running sampler ablation ({:?})...", opts.scale);
     let samplers = ablation::sampler_ablation_with(&Workload::ALL, opts.scale, opts.seed, &exec)
         .expect("sampler ablation");
 
-    eprintln!("running forest-size sweep...");
+    napel_telemetry::info!("running forest-size sweep...");
     let set = ablation::collect_with_sampler(
         &Workload::ALL,
         ablation::Sampler::Ccd,
@@ -26,7 +27,7 @@ fn main() {
     println!("Ablations: training-point sampler and forest size\n");
     print!("{}", ablation::render(&samplers, &sweep));
 
-    eprintln!("running feature-screening ablation...");
+    napel_telemetry::info!("running feature-screening ablation...");
     let screening = ablation::screening_ablation_with(&set, &[10, 30, 100], opts.seed, &exec)
         .expect("screening");
     println!("\nFeature screening (top-k by permutation importance):");
@@ -39,7 +40,7 @@ fn main() {
         println!("  keep {:>4}  perf MRE {:.1}%", kept, p.perf_mre * 100.0);
     }
 
-    eprintln!("running the atax cache/scratchpad what-if...");
+    napel_telemetry::info!("running the atax cache/scratchpad what-if...");
     println!("\natax NMC L1 size what-if (Section 3.4's closing observation):");
     for p in ablation::cache_size_sweep(Workload::Atax, &[2, 8, 32, 128], opts.scale) {
         println!(
@@ -51,7 +52,7 @@ fn main() {
         );
     }
 
-    eprintln!("running the offload-cost sensitivity study...");
+    napel_telemetry::info!("running the offload-cost sensitivity study...");
     println!("\noffload-cost sensitivity (one-time SerDes transfer of the footprint):");
     for r in ablation::offload_sensitivity(&Workload::ALL, opts.scale) {
         println!(
@@ -63,7 +64,7 @@ fn main() {
         );
     }
 
-    eprintln!("running the row-policy study...");
+    napel_telemetry::info!("running the row-policy study...");
     println!("\nclosed- vs open-row EDP (J*s) at central configurations:");
     for (w, closed, open) in ablation::row_policy_study(&Workload::ALL, opts.scale) {
         let better = if open < closed { "open" } else { "closed" };
@@ -75,4 +76,5 @@ fn main() {
             better
         );
     }
+    opts.finish_telemetry();
 }

@@ -6,34 +6,36 @@ use napel_workloads::Workload;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_telemetry();
     let exec = opts.executor();
     println!("== Table 2 ==\n{}", table2::render());
     println!("== Table 3 ==\n{}", table3::render(opts.scale));
 
-    eprintln!("collecting training data ({:?})...", opts.scale);
+    napel_telemetry::info!("collecting training data ({:?})...", opts.scale);
     let (ctx, report) =
         Context::build_supervised(opts.scale, opts.seed, &exec, &opts.campaign_options())
             .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
     announce_report(&report);
     let cfg = opts.napel_config();
 
-    eprintln!("table 4...");
+    napel_telemetry::info!("table 4...");
     let t4 = table4::run_with(&ctx, &cfg, &exec).expect("table 4");
     println!("== Table 4 ==\n{}", table4::render(&t4));
 
-    eprintln!("figure 4...");
+    napel_telemetry::info!("figure 4...");
     let f4 = fig4::run_with(&ctx, &cfg, opts.configs, &exec).expect("fig 4");
     println!("== Figure 4 ==\n{}", fig4::render(&f4));
 
-    eprintln!("figure 5...");
+    napel_telemetry::info!("figure 5...");
     let f5 = fig5::run_with(&ctx, &exec).expect("fig 5");
     println!("== Figure 5 ==\n{}", fig5::render(&f5));
 
-    eprintln!("figure 6...");
+    napel_telemetry::info!("figure 6...");
     let f6 = fig6::run(&Workload::ALL, opts.scale);
     println!("== Figure 6 ==\n{}", fig6::render(&f6));
 
-    eprintln!("figure 7...");
+    napel_telemetry::info!("figure 7...");
     let f7 = fig7::run_with(&ctx, &cfg, &exec).expect("fig 7");
     println!("== Figure 7 ==\n{}", fig7::render(&f7));
+    opts.finish_telemetry();
 }

@@ -8,6 +8,7 @@ use nmc_sim::{ArchConfig, NmcSystem};
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_telemetry();
     let host = HostModel::power9(opts.scale);
     println!(
         "{:<6} {:>9} {:>11} {:>11} {:>11} {:>11} {:>9} {:>8} {:>8}",
@@ -32,11 +33,12 @@ fn main() {
             h.cpi,
             r.ipc()
         );
-        eprintln!(
+        napel_telemetry::info!(
             "       spatial {:.2} vec {:.2} dram {:.3} stall {:.2} base {:.3} branch {:.2} bw_bound {}",
             h.spatial, h.vectorizability, h.dram_fraction, h.stall_per_mem, h.base_cpi, h.branch_cpi, h.bandwidth_bound
         );
     }
+    opts.finish_telemetry();
 }
 
 // Internal diagnostics appended per run (see module docs).

@@ -6,14 +6,16 @@ use napel_core::experiments::{fig4, Context};
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_telemetry();
     let exec = opts.executor();
-    eprintln!("collecting training data ({:?})...", opts.scale);
+    napel_telemetry::info!("collecting training data ({:?})...", opts.scale);
     let (ctx, report) =
         Context::build_supervised(opts.scale, opts.seed, &exec, &opts.campaign_options())
             .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
     announce_report(&report);
-    eprintln!("timing {} configurations per application...", opts.configs);
+    napel_telemetry::info!("timing {} configurations per application...", opts.configs);
     let rows = fig4::run_with(&ctx, &opts.napel_config(), opts.configs, &exec).expect("fig 4 run");
     println!("Figure 4: prediction speedup over the simulator (increasing order)\n");
     print!("{}", fig4::render(&rows));
+    opts.finish_telemetry();
 }

@@ -6,14 +6,16 @@ use napel_core::experiments::{fig5, Context};
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_telemetry();
     let exec = opts.executor();
-    eprintln!("collecting training data ({:?})...", opts.scale);
+    napel_telemetry::info!("collecting training data ({:?})...", opts.scale);
     let (ctx, report) =
         Context::build_supervised(opts.scale, opts.seed, &exec, &opts.campaign_options())
             .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
     announce_report(&report);
-    eprintln!("running leave-one-application-out comparisons...");
+    napel_telemetry::info!("running leave-one-application-out comparisons...");
     let result = fig5::run_with(&ctx, &exec).expect("fig 5 run");
     println!("Figure 5: mean relative error, performance (a) and energy (b)\n");
     print!("{}", fig5::render(&result));
+    opts.finish_telemetry();
 }

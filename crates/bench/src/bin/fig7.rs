@@ -6,14 +6,16 @@ use napel_core::experiments::{fig7, Context};
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_telemetry();
     let exec = opts.executor();
-    eprintln!("collecting training data ({:?})...", opts.scale);
+    napel_telemetry::info!("collecting training data ({:?})...", opts.scale);
     let (ctx, report) =
         Context::build_supervised(opts.scale, opts.seed, &exec, &opts.campaign_options())
             .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
     announce_report(&report);
-    eprintln!("running the NMC-suitability analysis...");
+    napel_telemetry::info!("running the NMC-suitability analysis...");
     let result = fig7::run_with(&ctx, &opts.napel_config(), &exec).expect("fig 7 run");
     println!("Figure 7: EDP reduction of NMC offloading vs host execution\n");
     print!("{}", fig7::render(&result));
+    opts.finish_telemetry();
 }

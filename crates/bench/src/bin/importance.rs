@@ -15,14 +15,15 @@ use rand::SeedableRng;
 
 fn main() {
     let opts = Options::from_env();
-    eprintln!("collecting training data ({:?})...", opts.scale);
+    opts.init_telemetry();
+    napel_telemetry::info!("collecting training data ({:?})...", opts.scale);
     let set = collect(&CollectionPlan {
         scale: opts.scale,
         ..Default::default()
     });
     let data = set.ipc_dataset().expect("dataset");
 
-    eprintln!("training and computing permutation importance...");
+    napel_telemetry::info!("training and computing permutation importance...");
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let est = LogOf(napel_core::experiments::fig5::napel_estimator());
     let model = est.fit(&data, &mut rng).expect("fit");
@@ -49,4 +50,5 @@ fn main() {
         dead,
         importances.len()
     );
+    opts.finish_telemetry();
 }

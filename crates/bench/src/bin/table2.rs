@@ -1,6 +1,11 @@
 //! Regenerates Table 2 (evaluated applications and DoE parameter levels).
 
+use napel_bench::Options;
+
 fn main() {
+    let opts = Options::from_env();
+    opts.init_telemetry();
     println!("Table 2: evaluated applications and their DoE parameters\n");
     print!("{}", napel_core::experiments::table2::render());
+    opts.finish_telemetry();
 }

@@ -4,6 +4,8 @@ use napel_bench::Options;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_telemetry();
     println!("Table 3: system parameters and configuration\n");
     print!("{}", napel_core::experiments::table3::render(opts.scale));
+    opts.finish_telemetry();
 }

@@ -7,14 +7,16 @@ use napel_core::experiments::{table4, Context};
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_telemetry();
     let exec = opts.executor();
-    eprintln!("collecting training data ({:?})...", opts.scale);
+    napel_telemetry::info!("collecting training data ({:?})...", opts.scale);
     let (ctx, report) =
         Context::build_supervised(opts.scale, opts.seed, &exec, &opts.campaign_options())
             .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
     announce_report(&report);
-    eprintln!("running per-application timings...");
+    napel_telemetry::info!("running per-application timings...");
     let rows = table4::run_with(&ctx, &opts.napel_config(), &exec).expect("table 4 run");
     println!("Table 4: DoE configurations and training/prediction time\n");
     print!("{}", table4::render(&rows));
+    opts.finish_telemetry();
 }

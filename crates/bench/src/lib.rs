@@ -14,7 +14,13 @@
 //!   environment variable, falling back to no journal),
 //! - `--fail-policy fast|quarantine` — stop at the first failed campaign
 //!   job (default) or complete the campaign and itemize failures,
-//! - `--retries N` — re-run a panicked campaign job up to `N` extra times.
+//! - `--retries N` — re-run a panicked campaign job up to `N` extra times,
+//! - `--telemetry-out PATH` — enable telemetry, write the JSONL event
+//!   stream to `PATH` at exit, and print a phase-time summary on stderr
+//!   (default: the `NAPEL_TELEMETRY` environment variable, falling back
+//!   to telemetry off),
+//! - `--quiet` — suppress informational stderr output (progress lines,
+//!   campaign notices, the telemetry summary); errors still print.
 //!
 //! Run them as `cargo run --release -p napel-bench --bin fig5 -- --quick`.
 
@@ -45,6 +51,11 @@ pub struct Options {
     /// Per-job retry budget (`--retries`); `None` defers to
     /// `NAPEL_RETRIES`.
     pub retries: Option<u32>,
+    /// Telemetry JSONL output path (`--telemetry-out`); `None` defers to
+    /// `NAPEL_TELEMETRY`.
+    pub telemetry_out: Option<String>,
+    /// Suppress informational stderr output (`--quiet`).
+    pub quiet: bool,
 }
 
 impl Default for Options {
@@ -58,6 +69,8 @@ impl Default for Options {
             checkpoint: None,
             fail_policy: None,
             retries: None,
+            telemetry_out: None,
+            quiet: false,
         }
     }
 }
@@ -119,6 +132,10 @@ impl Options {
                             .expect("--retries must be an integer"),
                     );
                 }
+                "--telemetry-out" => {
+                    opts.telemetry_out = Some(args.next().expect("--telemetry-out needs a path"));
+                }
+                "--quiet" => opts.quiet = true,
                 other => panic!("unknown flag `{other}`"),
             }
         }
@@ -157,6 +174,54 @@ impl Options {
         opts
     }
 
+    /// The telemetry JSONL destination: `--telemetry-out` wins, otherwise
+    /// the `NAPEL_TELEMETRY` environment variable. `None` means telemetry
+    /// stays off (the noop global — near-zero cost on hot paths).
+    pub fn telemetry_path(&self) -> Option<std::path::PathBuf> {
+        match &self.telemetry_out {
+            Some(path) => Some(path.into()),
+            None => std::env::var_os("NAPEL_TELEMETRY").map(Into::into),
+        }
+    }
+
+    /// Applies the observability options: caps the log facade at `error`
+    /// under `--quiet`, and installs an enabled telemetry collector when a
+    /// JSONL destination is configured. Call once, at the top of `main`.
+    pub fn init_telemetry(&self) {
+        if self.quiet {
+            napel_telemetry::log::set_max_level(Some(napel_telemetry::log::Level::Error));
+        }
+        if self.telemetry_path().is_some() {
+            napel_telemetry::install(napel_telemetry::Telemetry::enabled());
+        }
+    }
+
+    /// Drains the telemetry collected since [`Self::init_telemetry`],
+    /// writes the JSONL event stream to the configured path, and prints
+    /// the phase-time / counter summary on stderr (suppressed by
+    /// `--quiet`). A no-op when telemetry is off. Call once, at the end
+    /// of `main`.
+    pub fn finish_telemetry(&self) {
+        let Some(path) = self.telemetry_path() else {
+            return;
+        };
+        let report = napel_telemetry::global().drain();
+        match std::fs::write(&path, report.to_jsonl()) {
+            Ok(()) => napel_telemetry::info!(
+                "telemetry: wrote {} events to {}",
+                report.spans.len() + report.counters.len() + report.histograms.len(),
+                path.display()
+            ),
+            Err(e) => napel_telemetry::warn!(
+                "napel: telemetry output `{}` write failed ({e}); summary only",
+                path.display()
+            ),
+        }
+        if napel_telemetry::log::enabled(napel_telemetry::log::Level::Info) {
+            eprintln!("{}", report.summary());
+        }
+    }
+
     /// The NAPEL training configuration implied by the options.
     pub fn napel_config(&self) -> NapelConfig {
         if self.quick {
@@ -176,14 +241,19 @@ impl Options {
 /// Surfaces a campaign's fault-tolerance activity on stderr — restored
 /// and quarantined counts, and one line of provenance per quarantined
 /// job — keeping stdout reserved for the table/figure itself. Silent on
-/// a plain clean run.
+/// a plain clean run, and under `--quiet` (quarantines are warnings;
+/// restore notices are informational).
 pub fn announce_report(report: &CampaignReport) {
     if report.is_clean() && report.restored == 0 {
         return;
     }
-    eprintln!("campaign: {}", report.summary());
+    if report.is_clean() {
+        napel_telemetry::info!("campaign: {}", report.summary());
+    } else {
+        napel_telemetry::warn!("campaign: {}", report.summary());
+    }
     for failure in &report.quarantined {
-        eprintln!("  quarantined: {failure}");
+        napel_telemetry::warn!("  quarantined: {failure}");
     }
 }
 

@@ -361,13 +361,15 @@ impl AnyExecutor {
         }
     }
 
-    /// Parses a `NAPEL_JOBS`-style specification, warning **once** on
-    /// stderr — naming the bad spec and the serial fallback — instead of
-    /// silently running a typo'd `NAPEL_JOBS=8x` campaign single-threaded.
+    /// Parses a `NAPEL_JOBS`-style specification, warning — once per
+    /// distinct message, through the `napel-telemetry` log facade —
+    /// instead of silently running a typo'd `NAPEL_JOBS=8x` campaign
+    /// single-threaded. Message-keyed dedup means a *different* bad spec
+    /// later in the same process warns again (a per-call-site `Once`
+    /// would swallow it).
     pub fn from_spec(spec: &str) -> Self {
         Self::parse_spec(spec).unwrap_or_else(|msg| {
-            static WARNED: Once = Once::new();
-            WARNED.call_once(|| eprintln!("napel: {msg}; falling back to serial execution"));
+            napel_telemetry::warn_once!("napel: {msg}; falling back to serial execution");
             Self::serial()
         })
     }
@@ -393,6 +395,20 @@ impl Executor for AnyExecutor {
         }
     }
 }
+
+/// Telemetry lane of job `i`: `JOB_LANE_BASE + i`. Lane 0 is the driver
+/// thread; giving every job its own lane makes the event stream's order
+/// independent of which worker ran the job — see [`napel_telemetry`].
+pub const JOB_LANE_BASE: u64 = 1;
+
+/// Telemetry lane of the kernel analysis first needed by job `i`:
+/// `ANALYSIS_LANE_BASE + i`. Analyses are shared across jobs through the
+/// [`ProfileCache`], and *which* job's thread materializes a shared entry
+/// is a race under a threaded executor — so analysis events go to a
+/// canonical lane chosen when the cache is built (the lowest job index
+/// sharing the entry), far above the job lanes, keeping the stream
+/// deterministic.
+pub const ANALYSIS_LANE_BASE: u64 = 1 << 32;
 
 /// Cache key: one kernel analysis per distinct (workload, scale, point).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -438,7 +454,17 @@ pub struct ProfiledPoint {
 /// configurations per point therefore cost one kernel analysis.
 #[derive(Debug)]
 pub struct ProfileCache {
-    entries: HashMap<ProfileKey, OnceLock<ProfiledPoint>>,
+    entries: HashMap<ProfileKey, CacheSlot>,
+}
+
+/// One cache entry: the once-cell plus the telemetry lane its analysis
+/// events go to (canonical = chosen at build time from the lowest job
+/// index sharing the entry, so the event stream does not depend on which
+/// worker happened to materialize it).
+#[derive(Debug)]
+struct CacheSlot {
+    cell: OnceLock<ProfiledPoint>,
+    lane: u64,
 }
 
 impl ProfileCache {
@@ -448,24 +474,44 @@ impl ProfileCache {
         for job in jobs {
             entries
                 .entry(ProfileKey::of(job))
-                .or_insert_with(OnceLock::new);
+                .or_insert_with(|| CacheSlot {
+                    cell: OnceLock::new(),
+                    lane: ANALYSIS_LANE_BASE + job.index as u64,
+                });
         }
         ProfileCache { entries }
     }
 
     /// The kernel analysis for `job`'s point, computing it on first use.
     ///
+    /// Telemetry: every call bumps `campaign.profile_cache.lookups`; the
+    /// call that actually materializes the entry bumps
+    /// `campaign.profile_cache.misses` (hits = lookups − misses, derived
+    /// rather than counted so the numbers stay exact under concurrency:
+    /// a caller that blocks on another worker's in-flight materialization
+    /// is neither a miss nor a double-counted hit).
+    ///
     /// # Panics
     ///
     /// Panics if `job` was not part of the batch the cache was built for.
     pub fn profiled(&self, job: &SimJob) -> &ProfiledPoint {
-        let cell = self
+        let slot = self
             .entries
             .get(&ProfileKey::of(job))
             .expect("cache was built for this job batch");
-        cell.get_or_init(|| {
+        napel_telemetry::counter!("campaign.profile_cache.lookups", 1);
+        slot.cell.get_or_init(|| {
+            let telemetry = napel_telemetry::global();
+            let _lane = telemetry.lane(slot.lane);
+            let _analyze = telemetry
+                .span("campaign.analyze")
+                .attr("workload", job.workload.name());
+            telemetry.counter("campaign.profile_cache.misses", 1);
             let t0 = Instant::now();
-            let trace = job.workload.generate(&job.coords, job.scale);
+            let trace = {
+                let _gen = telemetry.span("campaign.generate_trace");
+                job.workload.generate(&job.coords, job.scale)
+            };
             let generate_seconds = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
             let profile = ApplicationProfile::of(&trace);
@@ -493,15 +539,18 @@ impl ProfileCache {
     /// job-execution counter: checkpoint-restored jobs never touch the
     /// cache, so a resumed campaign's count covers only recomputed work.
     pub fn materialized(&self) -> usize {
-        self.entries.values().filter(|c| c.get().is_some()).count()
+        self.entries
+            .values()
+            .filter(|s| s.cell.get().is_some())
+            .count()
     }
 
     /// Generate/profile time summed over the points that were actually
     /// materialized (each counted once, however many jobs shared it).
     fn analysis_stats(&self) -> CollectStats {
         let mut stats = CollectStats::default();
-        for cell in self.entries.values() {
-            if let Some(point) = cell.get() {
+        for slot in self.entries.values() {
+            if let Some(point) = slot.cell.get() {
                 stats.merge(&CollectStats {
                     generate_seconds: point.generate_seconds,
                     profile_seconds: point.profile_seconds,
@@ -574,6 +623,11 @@ pub fn run_supervised<E: Executor>(
     jobs: &[SimJob],
     opts: &CampaignOptions,
 ) -> Result<(Vec<LabeledRun>, CampaignReport), NapelError> {
+    let telemetry = napel_telemetry::global();
+    let _run_span = telemetry
+        .span("campaign.run")
+        .attr("jobs", jobs.len())
+        .attr("workers", exec.workers());
     let journal = match &opts.checkpoint {
         Some(path) => Some(CheckpointJournal::open(path)?),
         None => None,
@@ -627,6 +681,13 @@ pub fn run_supervised<E: Executor>(
 /// Supervises one job: checkpoint restore, bounded retries around the
 /// panic-catching execution, label validation, journaling, and fail-fast
 /// cancellation.
+///
+/// Telemetry: the whole job runs in its own lane (`JOB_LANE_BASE +
+/// index`) under a `campaign.job` span carrying the job's provenance
+/// (workload, index, architecture) and final status, and bumps the
+/// `campaign.jobs.*` counters. Both are deterministic: each job's lane
+/// is private to it, and whether a job completes, restores, retries, or
+/// fails is a pure function of the job (see the module docs).
 fn run_one(
     job: &SimJob,
     cache: &ProfileCache,
@@ -634,6 +695,13 @@ fn run_one(
     opts: &CampaignOptions,
     cancel: &AtomicBool,
 ) -> (JobOutcome, Option<LabeledRun>, f64) {
+    let telemetry = napel_telemetry::global();
+    let _lane = telemetry.lane(JOB_LANE_BASE + job.index as u64);
+    let span = telemetry
+        .span("campaign.job")
+        .attr("workload", job.workload.name())
+        .attr("index", job.index)
+        .attr("arch", format_args!("{:?}", job.arch));
     let outcome = |status, attempts, seconds| JobOutcome {
         index: job.index,
         status,
@@ -641,11 +709,15 @@ fn run_one(
         seconds,
     };
     if cancel.load(Ordering::Acquire) {
+        napel_telemetry::counter!("campaign.jobs.skipped", 1);
+        let _span = span.attr("status", "skipped");
         return (outcome(JobStatus::Skipped, 0, 0.0), None, 0.0);
     }
     let hash = job.descriptor_hash();
     if let Some(journal) = journal {
         if let Some(run) = journal.restored(hash) {
+            napel_telemetry::counter!("campaign.jobs.restored", 1);
+            let _span = span.attr("status", "restored");
             return (outcome(JobStatus::Restored, 0, 0.0), Some(run.clone()), 0.0);
         }
     }
@@ -660,6 +732,8 @@ fn run_one(
                 if let Some(journal) = journal {
                     journal.record(hash, &run);
                 }
+                napel_telemetry::counter!("campaign.jobs.completed", 1);
+                let _span = span.attr("status", "completed");
                 let seconds = start.elapsed().as_secs_f64();
                 return (
                     outcome(JobStatus::Completed, attempts, seconds),
@@ -672,6 +746,7 @@ fn run_one(
             Ok(Err(kind)) => kind,
             Err(panic_message) => {
                 if attempts <= opts.retries {
+                    napel_telemetry::counter!("campaign.jobs.retried", 1);
                     continue;
                 }
                 JobFailureKind::Panic(panic_message)
@@ -680,6 +755,8 @@ fn run_one(
         if opts.policy == FaultPolicy::FailFast {
             cancel.store(true, Ordering::Release);
         }
+        napel_telemetry::counter!("campaign.jobs.failed", 1);
+        let _span = span.attr("status", "failed").attr("attempts", attempts);
         let seconds = start.elapsed().as_secs_f64();
         return (
             outcome(JobStatus::Failed(kind), attempts, seconds),

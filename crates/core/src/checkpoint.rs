@@ -99,6 +99,7 @@ impl CheckpointJournal {
             .append(true)
             .open(path)
             .map_err(|e| ckpt_err(format!("cannot open for append: {e}")))?;
+        napel_telemetry::counter!("checkpoint.entries_replayed", entries.len() as u64);
         Ok(CheckpointJournal {
             path: path.to_path_buf(),
             entries,
@@ -130,23 +131,25 @@ impl CheckpointJournal {
     /// workers; each entry is written and flushed under one lock hold.
     ///
     /// A write failure must not kill a running campaign (the journal is
-    /// an optimization, not the product), so I/O errors warn once on
-    /// stderr and subsequent appends become no-ops.
+    /// an optimization, not the product), so I/O errors warn through the
+    /// `napel-telemetry` facade — once per distinct message, so a *new*
+    /// failure mode on the same journal still reaches stderr — and the
+    /// failed append is dropped.
     pub fn record(&self, hash: u64, run: &LabeledRun) {
         let line = encode_entry(hash, run);
         let mut writer = self.writer.lock().expect("journal writer not poisoned");
-        if let Err(e) = writer
+        match writer
             .write_all(line.as_bytes())
             .and_then(|()| writer.flush())
         {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!(
+            Ok(()) => napel_telemetry::counter!("checkpoint.entries_recorded", 1),
+            Err(e) => {
+                napel_telemetry::warn_once!(
                     "napel: checkpoint journal `{}` write failed ({e}); \
                      campaign continues without checkpointing",
                     self.path.display()
                 );
-            });
+            }
         }
     }
 }

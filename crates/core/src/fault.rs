@@ -109,9 +109,10 @@ impl CampaignOptions {
     /// - `NAPEL_FAIL_POLICY` — `fast` (default) or `quarantine`,
     /// - `NAPEL_RETRIES` — extra attempts for panicking jobs (default 0).
     ///
-    /// Unparsable values warn once on stderr and fall back to the
-    /// default, mirroring `NAPEL_JOBS` handling — a typo must not abort
-    /// (or silently reconfigure) a long campaign.
+    /// Unparsable values warn once *per distinct message* (via the
+    /// `napel-telemetry` log facade, so `NAPEL_LOG` and `--quiet` apply)
+    /// and fall back to the default, mirroring `NAPEL_JOBS` handling — a
+    /// typo must not abort (or silently reconfigure) a long campaign.
     pub fn from_env() -> Self {
         let mut opts = CampaignOptions::default();
         if let Ok(path) = std::env::var("NAPEL_CHECKPOINT") {
@@ -122,13 +123,23 @@ impl CampaignOptions {
         if let Ok(spec) = std::env::var("NAPEL_FAIL_POLICY") {
             match FaultPolicy::parse_spec(&spec) {
                 Ok(policy) => opts.policy = policy,
-                Err(msg) => warn_once_fail_policy(&msg),
+                // Deduplicated by message (not call site), so a later,
+                // *different* bad spec in the same process still warns.
+                Err(msg) => {
+                    napel_telemetry::warn_once!(
+                        "napel: NAPEL_FAIL_POLICY: {msg}; keeping fail-fast"
+                    );
+                }
             }
         }
         if let Ok(spec) = std::env::var("NAPEL_RETRIES") {
             match spec.trim().parse::<u32>() {
                 Ok(n) => opts.retries = n,
-                Err(_) => warn_once_retries(&spec),
+                Err(_) => {
+                    napel_telemetry::warn_once!(
+                        "napel: NAPEL_RETRIES: unparsable `{spec}` (expected an integer); keeping 0"
+                    );
+                }
             }
         }
         opts
@@ -159,18 +170,6 @@ impl CampaignOptions {
         self.injector = Some(injector);
         self
     }
-}
-
-fn warn_once_fail_policy(msg: &str) {
-    static WARNED: std::sync::Once = std::sync::Once::new();
-    WARNED.call_once(|| eprintln!("napel: NAPEL_FAIL_POLICY: {msg}; keeping fail-fast"));
-}
-
-fn warn_once_retries(spec: &str) {
-    static WARNED: std::sync::Once = std::sync::Once::new();
-    WARNED.call_once(|| {
-        eprintln!("napel: NAPEL_RETRIES: unparsable `{spec}` (expected an integer); keeping 0");
-    });
 }
 
 /// What happened to one job of a supervised batch.

@@ -92,8 +92,13 @@ pub fn cross_val_mre<E: Estimator>(
     folds: &[Fold],
     rng: &mut dyn RngCore,
 ) -> Result<f64, MlError> {
+    let telemetry = napel_telemetry::global();
+    let _span = telemetry
+        .span("ml.cross_validate")
+        .attr("folds", folds.len())
+        .attr("rows", data.len());
     let mut total = 0.0;
-    for fold in folds {
+    for (i, fold) in folds.iter().enumerate() {
         if fold.train.is_empty() || fold.test.is_empty() {
             return Err(MlError::NotEnoughSamples {
                 needed: 1,
@@ -102,8 +107,20 @@ pub fn cross_val_mre<E: Estimator>(
         }
         let train = data.subset(&fold.train);
         let test = data.subset(&fold.test);
-        let model = estimator.fit(&train, rng)?;
-        let preds = model.predict(&test);
+        let model = {
+            let _fit = telemetry
+                .span("ml.cv.fit")
+                .attr("fold", i)
+                .attr("train_rows", fold.train.len());
+            estimator.fit(&train, rng)?
+        };
+        let preds = {
+            let _predict = telemetry
+                .span("ml.cv.predict")
+                .attr("fold", i)
+                .attr("test_rows", fold.test.len());
+            model.predict(&test)
+        };
         total += mean_relative_error(&preds, test.targets());
     }
     Ok(total / folds.len() as f64)
@@ -161,6 +178,11 @@ impl<E: Estimator> GridSearch<E> {
         folds: &[Fold],
         rng: &mut dyn RngCore,
     ) -> Result<TuneOutcome<E>, MlError> {
+        let telemetry = napel_telemetry::global();
+        let _span = telemetry
+            .span("ml.grid_search")
+            .attr("candidates", self.candidates.len())
+            .attr("folds", folds.len());
         let mut best: Option<(usize, f64)> = None;
         let mut scores = Vec::with_capacity(self.candidates.len());
         let mut last_err = MlError::EmptyDataset;

@@ -26,6 +26,12 @@ pub struct RandomForestParams {
     pub bootstrap: bool,
 }
 
+/// Bucket bounds (seconds) for the per-tree build-time histogram
+/// `ml.forest.tree_build_seconds`. Decade-spaced from 10 µs to 1 s; trees
+/// on NAPEL-scale datasets land in the middle buckets, so drift in either
+/// direction is visible in the end-of-run summary.
+const TREE_BUILD_BOUNDS: &[f64] = &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
 impl Default for RandomForestParams {
     fn default() -> Self {
         RandomForestParams {
@@ -51,10 +57,16 @@ impl Estimator for RandomForestParams {
                 what: "num_trees must be >= 1",
             });
         }
+        let telemetry = napel_telemetry::global();
+        let _span = telemetry
+            .span("ml.forest.fit")
+            .attr("trees", self.num_trees)
+            .attr("rows", data.len());
         let n = data.len();
         let mut trees = Vec::with_capacity(self.num_trees);
         let mut oob: Vec<(f64, u32)> = vec![(0.0, 0); n];
         for _ in 0..self.num_trees {
+            let tree_start = telemetry.is_enabled().then(std::time::Instant::now);
             let (sample, in_bag) = if self.bootstrap {
                 let mut in_bag = vec![false; n];
                 let idx: Vec<usize> = (0..n)
@@ -69,6 +81,13 @@ impl Estimator for RandomForestParams {
                 (data.clone(), vec![true; n])
             };
             let tree = self.tree.fit(&sample, rng)?;
+            if let Some(start) = tree_start {
+                telemetry.observe(
+                    "ml.forest.tree_build_seconds",
+                    TREE_BUILD_BOUNDS,
+                    start.elapsed().as_secs_f64(),
+                );
+            }
             for (i, bagged) in in_bag.iter().enumerate() {
                 if !bagged {
                     let (sum, cnt) = oob[i];

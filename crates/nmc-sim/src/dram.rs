@@ -19,6 +19,11 @@ pub struct DramStats {
     pub activations: u64,
     /// Row-buffer hits (open-row policy only).
     pub row_hits: u64,
+    /// Row-buffer conflicts: open-row accesses that found a *different*
+    /// row open and paid a precharge before activating. Always zero under
+    /// the closed-row policy (every access precharges by design, so no
+    /// access ever conflicts with a stale open row).
+    pub conflicts: u64,
     /// Total cycles requests spent queued behind busy banks.
     pub queue_cycles: u64,
 }
@@ -50,6 +55,8 @@ struct Vault {
     banks: Vec<Bank>,
     /// Data bus within the vault: one burst at a time.
     bus_free_at: u64,
+    /// Bursts served by this vault (telemetry: vault load balance).
+    accesses: u64,
 }
 
 /// The memory-side model: address mapping, bank timing, counters.
@@ -76,6 +83,7 @@ impl DramModel {
                         cfg.dram_layers
                     ],
                     bus_free_at: 0,
+                    accesses: 0,
                 };
                 cfg.vaults
             ],
@@ -106,6 +114,7 @@ impl DramModel {
         let t = self.timing;
         let (v, b, row) = self.map(addr);
         let vault = &mut self.vaults[v];
+        vault.accesses += 1;
         let bank = &mut vault.banks[b];
 
         let (access_latency, hold_extra) = match self.policy {
@@ -123,6 +132,9 @@ impl DramModel {
                 } else {
                     // Precharge the old row (if any) then activate.
                     self.stats.activations += 1;
+                    if bank.open_row.is_some() {
+                        self.stats.conflicts += 1;
+                    }
                     let pre = if bank.open_row.is_some() { t.t_rp } else { 0 };
                     let lat = pre + t.t_rcd + t.t_cl + t.t_bl;
                     (lat, if write { t.t_wr } else { 0 })
@@ -160,6 +172,12 @@ impl DramModel {
     /// Number of vaults.
     pub fn num_vaults(&self) -> usize {
         self.vaults.len()
+    }
+
+    /// Bursts served per vault, in vault order — the load-balance view
+    /// the telemetry layer surfaces via `SimReport::vault_accesses`.
+    pub fn vault_accesses(&self) -> Vec<u64> {
+        self.vaults.iter().map(|v| v.accesses).collect()
     }
 }
 
@@ -252,6 +270,44 @@ mod tests {
             after_write > after_read,
             "write recovery must delay the bank"
         );
+    }
+
+    #[test]
+    fn open_row_conflicts_are_counted() {
+        let c = ArchConfig {
+            row_policy: RowPolicy::Open,
+            ..cfg()
+        };
+        let mut m = DramModel::new(&c);
+        // Same (vault, bank), next row over.
+        let stride = c.row_buffer_bytes * (c.vaults * c.dram_layers) as u64;
+        m.access(0, false, 0); // cold activation — no row open yet
+        m.access(stride, false, 0); // different row open → conflict
+        m.access(stride, false, 0); // row hit
+        let s = m.stats();
+        assert_eq!(s.conflicts, 1);
+        assert_eq!(s.row_hits, 1);
+        assert_eq!(s.activations, 2);
+        // Closed policy precharges every access; conflicts stay zero.
+        let mut closed = DramModel::new(&cfg());
+        closed.access(0, false, 0);
+        closed.access(stride, false, 0);
+        assert_eq!(closed.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn vault_accesses_track_load_balance() {
+        let mut m = DramModel::new(&cfg());
+        let n = m.num_vaults();
+        // One row-buffer-sized stride per access walks the vaults
+        // round-robin; two full rounds load every vault equally.
+        for i in 0..(2 * n as u64) {
+            m.access(i * 256, false, 0);
+        }
+        let per = m.vault_accesses();
+        assert_eq!(per.len(), n);
+        assert!(per.iter().all(|&a| a == 2), "{per:?}");
+        assert_eq!(per.iter().sum::<u64>(), m.stats().accesses());
     }
 
     #[test]

@@ -41,7 +41,14 @@ impl LinkConfig {
 
     /// Cost of moving `to_nmc` bytes toward the memory and `to_host` bytes
     /// back. Full-duplex links overlap the two directions.
+    ///
+    /// When telemetry is enabled, the traffic is mirrored into the
+    /// `nmc_sim.link.*` counters so offload-cost studies show up in the
+    /// end-of-run summary alongside the simulator's memory counters.
     pub fn transfer(&self, to_nmc: u64, to_host: u64) -> TransferCost {
+        napel_telemetry::counter!("nmc_sim.link.transfers", 1);
+        napel_telemetry::counter!("nmc_sim.link.bytes_to_nmc", to_nmc);
+        napel_telemetry::counter!("nmc_sim.link.bytes_to_host", to_host);
         let bw = self.bandwidth_bytes_per_sec();
         let t_in = to_nmc as f64 / bw;
         let t_out = to_host as f64 / bw;

@@ -23,6 +23,10 @@ pub struct SimReport {
     pub energy: EnergyBreakdown,
     /// Number of PEs that executed at least one instruction.
     pub active_pes: usize,
+    /// DRAM bursts served per vault, in vault order — the load-balance
+    /// view behind the `nmc_sim.vault.*` telemetry counters. Purely
+    /// observational: no label or feature is derived from it.
+    pub vault_accesses: Vec<u64>,
 }
 
 impl SimReport {
@@ -74,6 +78,7 @@ mod tests {
                 static_pj: 0.0,
             },
             active_pes: 4,
+            vault_accesses: vec![0; 4],
         }
     }
 

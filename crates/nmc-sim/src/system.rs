@@ -51,7 +51,17 @@ impl NmcSystem {
     }
 
     /// Simulates one kernel execution.
+    ///
+    /// When telemetry is enabled, the run is wrapped in an `nmc_sim.run`
+    /// span and the report's cache/DRAM counters are mirrored into the
+    /// metrics registry after the fact — instrumentation never touches
+    /// the timing model, so cycle results are bit-identical either way.
     pub fn run(&self, trace: &MultiTrace) -> SimReport {
+        let telemetry = napel_telemetry::global();
+        let _span = telemetry
+            .span("nmc_sim.run")
+            .attr("threads", trace.num_threads())
+            .attr("insts", trace.total_insts());
         let cfg = &self.config;
         let num_pes = cfg.num_pes.min(trace.num_threads()).max(1);
 
@@ -99,7 +109,11 @@ impl NmcSystem {
             }
         }
 
-        self.assemble_report(&pes, &dram)
+        let report = self.assemble_report(&pes, &dram);
+        if telemetry.is_enabled() {
+            record_report_counters(&telemetry, &report);
+        }
+        report
     }
 
     fn assemble_report(&self, pes: &[ProcessingElement], dram: &DramModel) -> SimReport {
@@ -147,6 +161,28 @@ impl NmcSystem {
                 static_pj,
             },
             active_pes: pes.iter().filter(|p| p.instructions() > 0).count(),
+            vault_accesses: dram.vault_accesses(),
+        }
+    }
+}
+
+/// Mirrors a finished report's counters into the telemetry registry.
+/// Counters accumulate across runs within one drain window, giving the
+/// aggregate memory-system picture of a whole campaign.
+fn record_report_counters(telemetry: &napel_telemetry::Telemetry, report: &SimReport) {
+    telemetry.counter("nmc_sim.runs", 1);
+    telemetry.counter("nmc_sim.instructions", report.instructions);
+    telemetry.counter("nmc_sim.dcache.accesses", report.dcache.accesses);
+    telemetry.counter("nmc_sim.dcache.hits", report.dcache.hits);
+    telemetry.counter("nmc_sim.icache.accesses", report.icache.accesses);
+    telemetry.counter("nmc_sim.icache.hits", report.icache.hits);
+    telemetry.counter("nmc_sim.dram.reads", report.dram.reads);
+    telemetry.counter("nmc_sim.dram.writes", report.dram.writes);
+    telemetry.counter("nmc_sim.dram.row_hits", report.dram.row_hits);
+    telemetry.counter("nmc_sim.dram.conflicts", report.dram.conflicts);
+    for (i, &accesses) in report.vault_accesses.iter().enumerate() {
+        if accesses > 0 {
+            telemetry.counter(&format!("nmc_sim.vault.{i}.accesses"), accesses);
         }
     }
 }

@@ -35,6 +35,13 @@ impl ApplicationProfile {
     /// A round-robin interleaving would instead measure cross-thread
     /// artifacts (e.g. false spatial locality on shared read-only data).
     pub fn of(trace: &MultiTrace) -> Self {
+        let telemetry = napel_telemetry::global();
+        let _span = telemetry
+            .span("pisa.profile")
+            .attr("threads", trace.num_threads())
+            .attr("insts", trace.total_insts());
+        telemetry.counter("pisa.instructions", trace.total_insts() as u64);
+
         let mut mix = MixCounter::new();
         let mut ilp = IlpAnalyzer::new();
         let mut elem = TrafficAnalyzer::new(Granularity::Element);
@@ -42,17 +49,21 @@ impl ApplicationProfile {
         let mut inst_reuse = ReuseAnalyzer::with_capacity(trace.total_insts());
         let mut footprint = FootprintAnalyzer::new();
 
-        for thread in trace.iter() {
-            for inst in thread.iter() {
-                mix.observe(inst);
-                ilp.observe(inst);
-                elem.observe(inst);
-                line.observe(inst);
-                inst_reuse.access(u64::from(inst.pc));
-                footprint.observe(inst);
+        {
+            let _observe = telemetry.span("pisa.observe");
+            for thread in trace.iter() {
+                for inst in thread.iter() {
+                    mix.observe(inst);
+                    ilp.observe(inst);
+                    elem.observe(inst);
+                    line.observe(inst);
+                    inst_reuse.access(u64::from(inst.pc));
+                    footprint.observe(inst);
+                }
             }
         }
 
+        let _assemble = telemetry.span("pisa.assemble");
         let mut values = Vec::with_capacity(feature_names().len());
 
         // 1-2. Instruction mix.

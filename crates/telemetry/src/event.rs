@@ -1,0 +1,115 @@
+//! The span event record and its JSON encoding.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, JsonValue};
+
+/// One completed span: a named phase with ordering coordinates, nesting
+/// context, measured duration, and free-form attributes.
+///
+/// Everything except `seconds` is deterministic for a deterministic
+/// campaign — `(lane, seq)` totally orders the stream, `depth`/`parent`
+/// describe nesting within the lane's scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Phase name, e.g. `campaign.job`.
+    pub name: String,
+    /// Ordering domain: 0 is the driver, jobs and analyses get their own.
+    pub lane: u64,
+    /// Start order within the lane (assigned when the span opens).
+    pub seq: u64,
+    /// Nesting depth within the lane scope (0 = root).
+    pub depth: u64,
+    /// Name of the enclosing span, if any.
+    pub parent: Option<String>,
+    /// Measured wall-clock duration. The only nondeterministic field.
+    pub seconds: f64,
+    /// Key/value attributes in attachment order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanEvent {
+    /// Encodes as one JSONL line (no trailing newline):
+    ///
+    /// ```json
+    /// {"type":"span","name":"campaign.job","lane":3,"seq":0,"depth":0,"seconds":0.0012,"attrs":{"workload":"atax"}}
+    /// ```
+    ///
+    /// `parent` is present only when the span is nested; `attrs` only
+    /// when non-empty.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"type\":\"span\",\"name\":");
+        json::write_string(&mut s, &self.name);
+        write!(
+            s,
+            ",\"lane\":{},\"seq\":{},\"depth\":{}",
+            self.lane, self.seq, self.depth
+        )
+        .expect("writing to String cannot fail");
+        if let Some(parent) = &self.parent {
+            s.push_str(",\"parent\":");
+            json::write_string(&mut s, parent);
+        }
+        s.push_str(",\"seconds\":");
+        json::write_f64(&mut s, self.seconds);
+        if !self.attrs.is_empty() {
+            s.push_str(",\"attrs\":{");
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                json::write_string(&mut s, k);
+                s.push(':');
+                json::write_string(&mut s, v);
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes the fields of a parsed `"type":"span"` object.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or ill-typed field.
+    pub(crate) fn from_fields(fields: &[(String, JsonValue)]) -> Result<SpanEvent, String> {
+        let name = json::get_string(fields, "name")?;
+        let lane = json::get_u64(fields, "lane")?;
+        let seq = json::get_u64(fields, "seq")?;
+        let depth = json::get_u64(fields, "depth")?;
+        let parent = match json::get(fields, "parent") {
+            Some(v) => Some(
+                v.as_string()
+                    .ok_or_else(|| "span `parent` must be a string".to_string())?
+                    .to_string(),
+            ),
+            None => None,
+        };
+        let seconds = json::get_f64(fields, "seconds")?;
+        let attrs = match json::get(fields, "attrs") {
+            Some(JsonValue::Object(pairs)) => {
+                let mut attrs = Vec::with_capacity(pairs.len());
+                for (k, v) in pairs {
+                    let v = v
+                        .as_string()
+                        .ok_or_else(|| format!("span attr `{k}` must be a string"))?;
+                    attrs.push((k.clone(), v.to_string()));
+                }
+                attrs
+            }
+            Some(_) => return Err("span `attrs` must be an object".to_string()),
+            None => Vec::new(),
+        };
+        Ok(SpanEvent {
+            name,
+            lane,
+            seq,
+            depth,
+            parent,
+            seconds,
+            attrs,
+        })
+    }
+}

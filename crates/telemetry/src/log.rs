@@ -1,0 +1,196 @@
+//! A leveled logging facade for diagnostics that should reach a human,
+//! not the telemetry stream: the `error!`/`warn!`/`info!`/`debug!`
+//! macros print to stderr when their level is at or below the active
+//! maximum.
+//!
+//! The maximum level comes from the `NAPEL_LOG` environment variable
+//! (`off`, `error`, `warn`, `info`, or `debug`) and defaults to `info`
+//! — the level of the diagnostics this facade replaced, so behavior is
+//! unchanged out of the box. Driver binaries override it with
+//! [`set_max_level`] (the bench bins' `--quiet` maps to `error`).
+//!
+//! [`warn_once!`](crate::warn_once) deduplicates by *message*: the same
+//! text prints once per process, but two different warnings from the
+//! same call site both print. (This replaces per-call-site
+//! `std::sync::Once` guards, which swallowed the second *distinct*
+//! message to pass through the site.)
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// A log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The campaign cannot proceed as asked.
+    Error = 1,
+    /// Something was ignored or substituted (bad env spec, checkpoint
+    /// write failure).
+    Warn = 2,
+    /// Progress reporting (the default maximum).
+    Info = 3,
+    /// Chatty detail for debugging the pipeline itself.
+    Debug = 4,
+}
+
+/// Sentinel for "not yet initialized from the environment".
+const UNSET: u8 = u8::MAX;
+/// Maximum level that prints; 0 means off.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+fn parse_spec(spec: Option<&str>) -> u8 {
+    let Some(spec) = spec else {
+        return Level::Info as u8;
+    };
+    match spec.trim().to_ascii_lowercase().as_str() {
+        "" => Level::Info as u8,
+        "off" | "none" | "silent" | "0" => 0,
+        "error" => Level::Error as u8,
+        "warn" | "warning" => Level::Warn as u8,
+        "info" => Level::Info as u8,
+        "debug" => Level::Debug as u8,
+        other => {
+            // Can't route through the facade being configured; one raw
+            // line, then the default.
+            eprintln!(
+                "napel: NAPEL_LOG: unknown level `{other}` (expected off|error|warn|info|debug); using info"
+            );
+            Level::Info as u8
+        }
+    }
+}
+
+fn max_level() -> u8 {
+    let level = MAX_LEVEL.load(Ordering::Relaxed);
+    if level != UNSET {
+        return level;
+    }
+    // First call: read NAPEL_LOG. A racing first call parses twice and
+    // stores the same value — harmless.
+    let parsed = parse_spec(std::env::var("NAPEL_LOG").ok().as_deref());
+    MAX_LEVEL.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Sets the maximum level that prints; `None` silences everything.
+/// Overrides `NAPEL_LOG`.
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would print. The macros check this
+/// before formatting, so disabled levels cost no allocation.
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= max_level()
+}
+
+/// Prints `args` to stderr if `level` is enabled. Prefer the macros.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("{args}");
+    }
+}
+
+/// Prints `message` to stderr if `level` is enabled and this exact
+/// message has not been printed before (process-wide). Prefer
+/// [`warn_once!`](crate::warn_once).
+pub fn log_once(level: Level, message: String) {
+    static SEEN: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+    if !enabled(level) {
+        return;
+    }
+    let fresh = SEEN
+        .lock()
+        .expect("log dedup set not poisoned")
+        .insert(message.clone());
+    if fresh {
+        eprintln!("{message}");
+    }
+}
+
+/// Logs at [`Level::Error`] with `format!` syntax.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`] with `format!` syntax.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`] with `format!` syntax.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`] with `format!` syntax.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`], deduplicated by formatted message: the same
+/// text prints once per process; distinct texts all print.
+#[macro_export]
+macro_rules! warn_once {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::log_once($crate::log::Level::Warn, format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(parse_spec(None), Level::Info as u8);
+        assert_eq!(parse_spec(Some("")), Level::Info as u8);
+        assert_eq!(parse_spec(Some("off")), 0);
+        assert_eq!(parse_spec(Some("ERROR")), Level::Error as u8);
+        assert_eq!(parse_spec(Some(" warn ")), Level::Warn as u8);
+        assert_eq!(parse_spec(Some("warning")), Level::Warn as u8);
+        assert_eq!(parse_spec(Some("info")), Level::Info as u8);
+        assert_eq!(parse_spec(Some("debug")), Level::Debug as u8);
+        assert_eq!(parse_spec(Some("bogus")), Level::Info as u8);
+    }
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    // `set_max_level` mutates process globals shared with other tests in
+    // this binary, so exercise the full lifecycle in one test.
+    #[test]
+    fn set_max_level_gates_enabled() {
+        set_max_level(Some(Level::Error));
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_max_level(None);
+        assert!(!enabled(Level::Error));
+        set_max_level(Some(Level::Debug));
+        assert!(enabled(Level::Debug));
+        // Restore the default for any test that runs after us.
+        set_max_level(Some(Level::Info));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+    }
+}

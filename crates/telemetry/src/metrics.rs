@@ -1,0 +1,146 @@
+//! Fixed-bucket histograms.
+
+/// A histogram with fixed upper bucket bounds plus an implicit overflow
+/// bucket, in the Prometheus style but cumulative-free: `counts()[i]` is
+/// the number of observations in bucket `i` alone.
+///
+/// A value `v` lands in the first bucket `i` with `v <= bounds()[i]`;
+/// values above every bound (and pathological NaNs) land in the overflow
+/// bucket, so `counts().len() == bounds().len() + 1` and no observation
+/// is ever dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing and finite —
+    /// bucket layouts are static constants in instrumented code, so a bad
+    /// layout is a programming error, not a runtime condition.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for pair in bounds.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "histogram bounds must be strictly increasing"
+            );
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (the overflow bucket is implicit)"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    /// Rebuilds a histogram from decoded parts (the JSONL reader).
+    ///
+    /// # Errors
+    ///
+    /// The same layout rules as [`Histogram::new`], plus
+    /// `counts.len() == bounds.len() + 1`, reported as messages instead
+    /// of panics since the input is external.
+    pub fn from_parts(bounds: Vec<f64>, counts: Vec<u64>) -> Result<Histogram, String> {
+        if bounds.is_empty() {
+            return Err("histogram needs at least one bound".to_string());
+        }
+        if bounds.windows(2).any(|p| p[0] >= p[1]) || bounds.iter().any(|b| !b.is_finite()) {
+            return Err("histogram bounds must be finite and strictly increasing".to_string());
+        }
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram with {} bounds needs {} counts, got {}",
+                bounds.len(),
+                bounds.len() + 1,
+                counts.len()
+            ));
+        }
+        Ok(Histogram { bounds, counts })
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+    }
+
+    /// Upper bucket bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts; the last entry is the overflow
+    /// bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        // Exactly on an edge → that bucket, not the next.
+        h.observe(1.0);
+        h.observe(10.0);
+        h.observe(100.0);
+        // Strictly inside.
+        h.observe(0.5);
+        h.observe(5.0);
+        // Above every bound → overflow.
+        h.observe(100.0001);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.counts(), &[2, 2, 1, 2]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn below_first_bound_lands_in_first_bucket() {
+        let mut h = Histogram::new(&[0.001]);
+        h.observe(0.0);
+        h.observe(-5.0);
+        assert_eq!(h.counts(), &[2, 0]);
+    }
+
+    #[test]
+    fn nan_goes_to_overflow_not_dropped() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        assert_eq!(h.counts(), &[0, 1]);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(Histogram::from_parts(vec![1.0, 2.0], vec![0, 1, 2]).is_ok());
+        assert!(Histogram::from_parts(vec![], vec![0]).is_err());
+        assert!(Histogram::from_parts(vec![2.0, 1.0], vec![0, 0, 0]).is_err());
+        assert!(Histogram::from_parts(vec![1.0], vec![0]).is_err());
+        assert!(Histogram::from_parts(vec![f64::NAN], vec![0, 0]).is_err());
+    }
+}

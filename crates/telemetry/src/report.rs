@@ -1,0 +1,355 @@
+//! The drained telemetry report and its two sinks: the JSONL writer and
+//! the human-readable summary table.
+
+use std::fmt::Write as _;
+
+use crate::event::SpanEvent;
+use crate::json::{self, JsonValue};
+use crate::metrics::Histogram;
+
+/// Everything one [`Telemetry`](crate::Telemetry) handle recorded:
+/// spans sorted by `(lane, seq)`, counters and histograms sorted by
+/// name. Produced by [`Telemetry::drain`](crate::Telemetry::drain).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    /// Completed spans in deterministic `(lane, seq)` order.
+    pub spans: Vec<SpanEvent>,
+    /// `(name, value)` pairs in name order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` pairs in name order.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl TelemetryReport {
+    /// Whether nothing was recorded (always true for a noop handle).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The value of a counter, if it was ever incremented.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Whether any span with this name was recorded.
+    pub fn has_span(&self, name: &str) -> bool {
+        self.spans.iter().any(|e| e.name == name)
+    }
+
+    /// A copy with every measurement zeroed: span `seconds` become `0.0`
+    /// and histograms (whose *bucket counts* depend on measured values)
+    /// are dropped. What remains — span names, lanes, sequence numbers,
+    /// nesting, attributes, counters — is the deterministic skeleton,
+    /// directly comparable across runs and executors with `assert_eq!`.
+    pub fn without_timings(&self) -> TelemetryReport {
+        TelemetryReport {
+            spans: self
+                .spans
+                .iter()
+                .map(|e| SpanEvent {
+                    seconds: 0.0,
+                    ..e.clone()
+                })
+                .collect(),
+            counters: self.counters.clone(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Renders the report as JSONL: one object per line, spans first
+    /// (in `(lane, seq)` order), then counters, then histograms.
+    ///
+    /// Schema (one line each):
+    ///
+    /// ```json
+    /// {"type":"span","name":"campaign.job","lane":3,"seq":0,"depth":0,"parent":"x","seconds":0.001,"attrs":{"workload":"atax"}}
+    /// {"type":"counter","name":"campaign.jobs.completed","value":54}
+    /// {"type":"histogram","name":"ml.forest.tree_build_seconds","bounds":[0.001,0.01],"counts":[3,2,0]}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in &self.spans {
+            out.push_str(&span.to_json());
+            out.push('\n');
+        }
+        for (name, value) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            json::write_string(&mut out, name);
+            write!(out, ",\"value\":{value}}}").expect("writing to String cannot fail");
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            json::write_string(&mut out, name);
+            out.push_str(",\"bounds\":[");
+            for (i, b) in h.bounds().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_f64(&mut out, *b);
+            }
+            out.push_str("],\"counts\":[");
+            for (i, c) in h.counts().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "{c}").expect("writing to String cannot fail");
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Parses a JSONL document produced by [`TelemetryReport::to_jsonl`].
+    /// Blank lines are skipped; unknown `type`s are errors (the schema is
+    /// closed).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line (1-based) and problem.
+    pub fn from_jsonl(text: &str) -> Result<TelemetryReport, String> {
+        let mut report = TelemetryReport::default();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let fields = json::parse_object(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            let kind =
+                json::get_string(&fields, "type").map_err(|e| format!("line {lineno}: {e}"))?;
+            match kind.as_str() {
+                "span" => {
+                    let span = SpanEvent::from_fields(&fields)
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    report.spans.push(span);
+                }
+                "counter" => {
+                    let name = json::get_string(&fields, "name")
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    let value = json::get_u64(&fields, "value")
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    report.counters.push((name, value));
+                }
+                "histogram" => {
+                    let name = json::get_string(&fields, "name")
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    let bounds = decode_array(&fields, "bounds", JsonValue::as_f64)
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    let counts = decode_array(&fields, "counts", JsonValue::as_u64)
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    let h = Histogram::from_parts(bounds, counts)
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    report.histograms.push((name, h));
+                }
+                other => return Err(format!("line {lineno}: unknown type `{other}`")),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Renders the end-of-run summary: a phase-time breakdown (per span
+    /// name: call count, total and mean wall-clock, sorted by total
+    /// descending), the counters (sorted by value descending), and one
+    /// line per histogram.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("telemetry: nothing recorded\n");
+            return out;
+        }
+
+        // Aggregate spans by name.
+        let mut phases: Vec<(String, u64, f64)> = Vec::new();
+        for span in &self.spans {
+            match phases.iter_mut().find(|(n, _, _)| *n == span.name) {
+                Some((_, count, total)) => {
+                    *count += 1;
+                    *total += span.seconds;
+                }
+                None => phases.push((span.name.clone(), 1, span.seconds)),
+            }
+        }
+        phases.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+
+        if !phases.is_empty() {
+            out.push_str("phase-time breakdown\n");
+            let mut rows = vec![vec![
+                "phase".to_string(),
+                "count".to_string(),
+                "total s".to_string(),
+                "mean s".to_string(),
+            ]];
+            for (name, count, total) in &phases {
+                rows.push(vec![
+                    name.clone(),
+                    count.to_string(),
+                    format!("{total:.6}"),
+                    format!("{:.6}", total / *count as f64),
+                ]);
+            }
+            render_aligned(&mut out, &rows);
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            let mut sorted: Vec<&(String, u64)> = self.counters.iter().collect();
+            sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let rows: Vec<Vec<String>> = sorted
+                .iter()
+                .map(|(n, v)| vec![n.clone(), v.to_string()])
+                .collect();
+            render_aligned(&mut out, &rows);
+        }
+
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            for (name, h) in &self.histograms {
+                write!(out, "  {name}  n={}  ", h.total()).expect("write to String");
+                for (i, c) in h.counts().iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" | ");
+                    }
+                    if i < h.bounds().len() {
+                        write!(out, "le {}: {c}", h.bounds()[i]).expect("write to String");
+                    } else {
+                        write!(out, "over: {c}").expect("write to String");
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn decode_array<T>(
+    fields: &[(String, JsonValue)],
+    key: &str,
+    decode: impl Fn(&JsonValue) -> Option<T>,
+) -> Result<Vec<T>, String> {
+    match json::get(fields, key) {
+        Some(JsonValue::Array(items)) => items
+            .iter()
+            .map(|v| decode(v).ok_or_else(|| format!("bad element in `{key}`")))
+            .collect(),
+        _ => Err(format!("missing or non-array field `{key}`")),
+    }
+}
+
+/// Left-aligns the first column and right-aligns the rest, two-space
+/// gutters, two-space indent.
+fn render_aligned(out: &mut String, rows: &[Vec<String>]) {
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    for row in rows {
+        out.push_str("  ");
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                write!(out, "{cell:<width$}", width = widths[i]).expect("write to String");
+            } else {
+                write!(out, "{cell:>width$}", width = widths[i]).expect("write to String");
+            }
+        }
+        // Trim the padding after the last cell of short rows.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample() -> TelemetryReport {
+        let t = Telemetry::enabled();
+        {
+            let _outer = t.span("phase.outer").attr("workload", "atax");
+            let _inner = t.span("phase.inner").attr("quote", "a\"b").attr("index", 7);
+        }
+        t.counter("c.hits", 41);
+        t.counter("c.misses", 1);
+        t.observe("h.seconds", &[0.001, 0.1], 0.05);
+        t.observe("h.seconds", &[0.001, 0.1], 5.0);
+        t.drain()
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let report = sample();
+        let text = report.to_jsonl();
+        let back = TelemetryReport::from_jsonl(&text).expect("parses");
+        assert_eq!(back, report);
+        // And the encoding itself is stable under a second trip.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn jsonl_schema_fields_are_present() {
+        let text = sample().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("{\"type\":\"span\",\"name\":\"phase.outer\""));
+        assert!(lines[0].contains("\"lane\":0"));
+        assert!(lines[0].contains("\"seq\":0"));
+        assert!(lines[0].contains("\"attrs\":{\"workload\":\"atax\"}"));
+        assert!(!lines[0].contains("\"parent\""), "root span has no parent");
+        assert!(lines[1].contains("\"parent\":\"phase.outer\""));
+        assert!(lines[1].contains("\"attrs\":{\"quote\":\"a\\\"b\",\"index\":\"7\"}"));
+        assert!(lines[2].contains("\"type\":\"counter\""));
+        assert!(lines[4].contains("\"bounds\":[0.001,0.1]"));
+        assert!(lines[4].contains("\"counts\":[0,1,1]"));
+    }
+
+    #[test]
+    fn from_jsonl_rejects_garbage() {
+        assert!(TelemetryReport::from_jsonl("not json\n").is_err());
+        assert!(TelemetryReport::from_jsonl("{\"type\":\"mystery\"}\n").is_err());
+        assert!(
+            TelemetryReport::from_jsonl("{\"type\":\"counter\",\"name\":\"x\"}\n").is_err(),
+            "counter without value"
+        );
+        let err = TelemetryReport::from_jsonl("{\"type\":\"span\",\"name\":\"x\"}\n")
+            .expect_err("span missing fields");
+        assert!(err.starts_with("line 1:"), "errors name the line: {err}");
+    }
+
+    #[test]
+    fn without_timings_is_deterministic_skeleton() {
+        let a = sample().without_timings();
+        let b = sample().without_timings();
+        assert_eq!(a, b);
+        assert!(a.spans.iter().all(|e| e.seconds == 0.0));
+        assert!(a.histograms.is_empty());
+        assert_eq!(a.counter("c.hits"), Some(41));
+    }
+
+    #[test]
+    fn summary_lists_phases_and_counters() {
+        let s = sample().summary();
+        assert!(s.contains("phase-time breakdown"));
+        assert!(s.contains("phase.outer"));
+        assert!(s.contains("phase.inner"));
+        assert!(s.contains("counters"));
+        assert!(s.contains("c.hits"));
+        assert!(s.contains("41"));
+        assert!(s.contains("histograms"));
+        assert!(s.contains("h.seconds"));
+        assert!(s.contains("n=2"));
+        let empty = TelemetryReport::default().summary();
+        assert!(empty.contains("nothing recorded"));
+    }
+}

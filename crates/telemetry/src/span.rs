@@ -1,0 +1,154 @@
+//! RAII span guards and the per-thread lane/nesting state.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::SpanEvent;
+use crate::{Inner, LANE_MAIN};
+
+thread_local! {
+    /// The ordering lane events on this thread are stamped with.
+    static CURRENT_LANE: Cell<u64> = const { Cell::new(LANE_MAIN) };
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open phase: measures wall-clock time from creation to drop and
+/// records a [`SpanEvent`] on drop. Created by [`Telemetry::span`]
+/// (or the [`span!`] macro); a span from a noop handle is inert and
+/// does not read the clock.
+///
+/// [`Telemetry::span`]: crate::Telemetry::span
+/// [`span!`]: crate::span!
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+#[derive(Debug)]
+pub struct Span {
+    rec: Option<SpanRec>,
+}
+
+#[derive(Debug)]
+struct SpanRec {
+    inner: Arc<Inner>,
+    name: &'static str,
+    lane: u64,
+    seq: u64,
+    depth: u64,
+    parent: Option<&'static str>,
+    attrs: Vec<(String, String)>,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn start(inner: Option<Arc<Inner>>, name: &'static str) -> Span {
+        let rec = inner.map(|inner| {
+            let lane = CURRENT_LANE.with(Cell::get);
+            // Sequence numbers are assigned at span *start*, so a parent
+            // always precedes its children in the drained stream even
+            // though it completes after them.
+            let seq = inner.next_seq(lane);
+            let (depth, parent) = SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                let depth = stack.len() as u64;
+                let parent = stack.last().copied();
+                stack.push(name);
+                (depth, parent)
+            });
+            SpanRec {
+                inner,
+                name,
+                lane,
+                seq,
+                depth,
+                parent,
+                attrs: Vec::new(),
+                start: Instant::now(),
+            }
+        });
+        Span { rec }
+    }
+
+    /// Attaches a key/value attribute. The value is only formatted when
+    /// the span is live, so passing `format_args!`/`Display` arguments
+    /// costs nothing on a noop handle.
+    pub fn attr(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        if let Some(rec) = &mut self.rec {
+            rec.attrs.push((key.to_string(), value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            let seconds = rec.start.elapsed().as_secs_f64();
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            rec.inner.record_span(SpanEvent {
+                name: rec.name.to_string(),
+                lane: rec.lane,
+                seq: rec.seq,
+                depth: rec.depth,
+                parent: rec.parent.map(str::to_string),
+                seconds,
+                attrs: rec.attrs,
+            });
+        }
+    }
+}
+
+/// Scopes the current thread to an ordering lane. Created by
+/// [`Telemetry::lane`]; on drop the previous lane *and* the previous
+/// nesting scope are restored.
+///
+/// Entering a lane swaps in a fresh span stack: spans opened under the
+/// guard start at depth 0 with no parent, whatever was open outside.
+/// This is deliberate — a campaign job must emit the same events
+/// whether its executor ran it inline on the driver thread (where a
+/// `campaign.run` span is open) or on a worker thread (where nothing
+/// is), so the lane boundary is also the nesting boundary.
+///
+/// Spans opened under the guard must drop before the guard does (the
+/// natural scoping shown below); the guard is not a portal for moving
+/// open spans between lanes.
+///
+/// ```
+/// use napel_telemetry::Telemetry;
+/// let t = Telemetry::enabled();
+/// {
+///     let _lane = t.lane(1 + 7); // job lanes are 1 + job index
+///     let _span = t.span("campaign.job");
+///     // ... the job ...
+/// } // span drops, then the lane guard
+/// ```
+///
+/// [`Telemetry::lane`]: crate::Telemetry::lane
+#[must_use = "the lane is only in effect while the guard is alive"]
+#[derive(Debug)]
+pub struct LaneGuard {
+    prev: Option<(u64, Vec<&'static str>)>,
+}
+
+impl LaneGuard {
+    pub(crate) fn enter(active: bool, lane: u64) -> LaneGuard {
+        if !active {
+            return LaneGuard { prev: None };
+        }
+        let prev_lane = CURRENT_LANE.with(|c| c.replace(lane));
+        let prev_stack = SPAN_STACK.with(|stack| std::mem::take(&mut *stack.borrow_mut()));
+        LaneGuard {
+            prev: Some((prev_lane, prev_stack)),
+        }
+    }
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        if let Some((lane, stack)) = self.prev.take() {
+            CURRENT_LANE.with(|c| c.set(lane));
+            SPAN_STACK.with(|s| *s.borrow_mut() = stack);
+        }
+    }
+}
