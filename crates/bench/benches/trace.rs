@@ -1,0 +1,74 @@
+//! Trace residency: compact-encoding throughput and the memory saved by
+//! keeping campaign traces encoded instead of materialized.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use napel_ir::{EncodedTrace, EncodedTraceSink, TeeSink};
+use napel_pisa::ProfileObserver;
+use napel_workloads::{Scale, Workload};
+use nmc_sim::{ArchConfig, NmcSystem};
+
+fn bench_trace(c: &mut Criterion) {
+    let w = Workload::Gemv;
+    let params: Vec<f64> = w.spec().params.iter().map(|p| p.test).collect();
+    let trace = w.generate(&params, Scale::laptop());
+    let insts = trace.total_insts() as u64;
+    let enc = EncodedTrace::from_multi(&trace);
+    println!(
+        "trace residency: {} insts, {} B materialized, {} B encoded ({:.1}x)",
+        insts,
+        enc.materialized_bytes(),
+        enc.encoded_bytes(),
+        enc.materialized_bytes() as f64 / enc.encoded_bytes() as f64
+    );
+
+    let mut g = c.benchmark_group("trace");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(insts));
+
+    // Encoding cost: the extra work the single-pass campaign pays while
+    // the kernel streams (versus observing alone).
+    g.bench_function("encode", |b| {
+        b.iter(|| EncodedTrace::from_multi(&trace).encoded_bytes())
+    });
+
+    // Decoding cost: what the simulate step pays to pull instructions
+    // back out of the compact form.
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            (0..enc.num_threads())
+                .map(|t| enc.thread_iter(t).count())
+                .sum::<usize>()
+        })
+    });
+
+    // End-to-end single pass (generate + observe + encode), the campaign's
+    // fused profiling phase.
+    g.bench_function("single_pass", |b| {
+        b.iter(|| {
+            let mut observer = ProfileObserver::new();
+            let mut sink = EncodedTraceSink::new();
+            {
+                let mut tee = TeeSink::new(&mut observer, &mut sink);
+                w.generate_into(&params, Scale::laptop(), &mut tee);
+            }
+            (observer.finish(), sink.finish().encoded_bytes())
+        })
+    });
+
+    // Simulation straight from the encoded stream, no materialization.
+    let sys = NmcSystem::new(ArchConfig::paper_default());
+    g.bench_function("simulate_streamed", |b| {
+        b.iter(|| {
+            sys.run_streams(
+                (0..enc.num_threads())
+                    .map(|t| enc.thread_iter(t))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -430,17 +430,89 @@ impl ProfileKey {
     }
 }
 
-/// The shared, hardware-independent part of a job's work: the generated
-/// trace and its PISA profile, plus how long each took.
+/// How a profiled point's trace stays resident between the simulations
+/// that share it — the campaign's memory/compute trade-off knob.
+///
+/// A raw [`napel_ir::MultiTrace`] costs 32 bytes per instruction and a
+/// campaign caches one per distinct DoE point, so large batches used to be
+/// dominated by trace memory. Both policies bound that:
+///
+/// - [`Encoded`](TracePolicy::Encoded) (the default) keeps the compact
+///   delta-encoded form ([`napel_ir::EncodedTrace`], typically 3–5 bytes
+///   per instruction) and decodes it on the fly for each simulation — a
+///   ≥4× residency reduction for every kernel at no re-generation cost.
+/// - [`Regenerate`](TracePolicy::Regenerate) keeps *nothing* resident and
+///   re-runs the kernel generator transiently per simulation — minimal
+///   memory, paying one extra generation per architecture configuration.
+///
+/// Selected by the `NAPEL_TRACE_POLICY` environment variable (`encoded`,
+/// `regenerate`; unset/empty → `encoded`, anything else warns once and
+/// falls back to `encoded`). Labeled rows are bit-identical across
+/// policies: both simulate the exact instruction sequence the kernel
+/// emits (enforced by test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TracePolicy {
+    /// Cache the compact delta-encoded trace; simulations decode it.
+    #[default]
+    Encoded,
+    /// Cache nothing; simulations re-generate the kernel trace.
+    Regenerate,
+}
+
+impl TracePolicy {
+    /// Reads the policy from `NAPEL_TRACE_POLICY` (see the type docs).
+    pub fn from_env() -> Self {
+        match std::env::var("NAPEL_TRACE_POLICY") {
+            Err(_) => TracePolicy::default(),
+            Ok(spec) => Self::from_spec(&spec),
+        }
+    }
+
+    /// Parses a `NAPEL_TRACE_POLICY`-style specification, warning once
+    /// (through the `napel-telemetry` log facade) and defaulting on an
+    /// unknown value rather than aborting a campaign over a typo.
+    pub fn from_spec(spec: &str) -> Self {
+        let spec = spec.trim();
+        if spec.is_empty() || spec.eq_ignore_ascii_case("encoded") {
+            TracePolicy::Encoded
+        } else if spec.eq_ignore_ascii_case("regenerate") {
+            TracePolicy::Regenerate
+        } else {
+            napel_telemetry::warn_once!(
+                "napel: unknown trace policy `{spec}` (expected `encoded` or \
+                 `regenerate`); using `encoded`"
+            );
+            TracePolicy::default()
+        }
+    }
+}
+
+/// The resident form of a profiled point's trace, per [`TracePolicy`].
+#[derive(Debug)]
+pub enum ResidentTrace {
+    /// The compact delta-encoded trace ([`TracePolicy::Encoded`]).
+    Encoded(napel_ir::EncodedTrace),
+    /// Nothing resident ([`TracePolicy::Regenerate`]); simulations re-run
+    /// the kernel generator.
+    Regenerate,
+}
+
+/// The shared, hardware-independent part of a job's work: the PISA
+/// profile, the trace in its policy-chosen resident form, and how long
+/// the (single-pass) analysis took.
 #[derive(Debug)]
 pub struct ProfiledPoint {
-    /// The instruction trace of the workload at this point.
-    pub trace: napel_ir::MultiTrace,
+    /// The workload's instruction trace at this point, as resident per
+    /// the cache's [`TracePolicy`].
+    pub trace: ResidentTrace,
     /// The PISA application profile of that trace.
     pub profile: ApplicationProfile,
-    /// Seconds spent generating the trace.
+    /// Seconds spent in the fused generate-and-observe pass (the kernel
+    /// streams straight into the profiler, so generation and feature
+    /// observation share one clock).
     pub generate_seconds: f64,
-    /// Seconds spent profiling it.
+    /// Seconds spent assembling the feature vector from the observed
+    /// statistics.
     pub profile_seconds: f64,
 }
 
@@ -455,6 +527,7 @@ pub struct ProfiledPoint {
 #[derive(Debug)]
 pub struct ProfileCache {
     entries: HashMap<ProfileKey, CacheSlot>,
+    policy: TracePolicy,
 }
 
 /// One cache entry: the once-cell plus the telemetry lane its analysis
@@ -468,8 +541,15 @@ struct CacheSlot {
 }
 
 impl ProfileCache {
-    /// Prepares (empty) cache slots for every distinct point in `jobs`.
+    /// Prepares (empty) cache slots for every distinct point in `jobs`,
+    /// with the trace-residency policy from the environment
+    /// ([`TracePolicy::from_env`]).
     pub fn for_jobs(jobs: &[SimJob]) -> Self {
+        Self::with_policy(jobs, TracePolicy::from_env())
+    }
+
+    /// Prepares (empty) cache slots with an explicit residency policy.
+    pub fn with_policy(jobs: &[SimJob], policy: TracePolicy) -> Self {
         let mut entries = HashMap::new();
         for job in jobs {
             entries
@@ -479,7 +559,12 @@ impl ProfileCache {
                     lane: ANALYSIS_LANE_BASE + job.index as u64,
                 });
         }
-        ProfileCache { entries }
+        ProfileCache { entries, policy }
+    }
+
+    /// The trace-residency policy this cache was built with.
+    pub fn policy(&self) -> TracePolicy {
+        self.policy
     }
 
     /// The kernel analysis for `job`'s point, computing it on first use.
@@ -507,14 +592,42 @@ impl ProfileCache {
                 .span("campaign.analyze")
                 .attr("workload", job.workload.name());
             telemetry.counter("campaign.profile_cache.misses", 1);
+            // One fused pass: the kernel streams each instruction into the
+            // PISA observer (and, under the `Encoded` policy, into the
+            // compact encoder) as it is emitted — the full 32-byte-per-
+            // instruction `MultiTrace` is never materialized.
+            let mut observer = napel_pisa::ProfileObserver::new();
             let t0 = Instant::now();
-            let trace = {
-                let _gen = telemetry.span("campaign.generate_trace");
-                job.workload.generate(&job.coords, job.scale)
+            let trace = match self.policy {
+                TracePolicy::Encoded => {
+                    let mut enc = napel_ir::EncodedTraceSink::new();
+                    {
+                        let _gen = telemetry.span("campaign.generate_trace");
+                        let mut tee = napel_ir::TeeSink::new(&mut observer, &mut enc);
+                        job.workload.generate_into(&job.coords, job.scale, &mut tee);
+                    }
+                    let enc = enc.finish();
+                    // `trace.bytes_resident` totals what campaigns keep in
+                    // memory; `trace.encoded_ratio` accumulates per-point
+                    // compression factors (divide by
+                    // `campaign.profile_cache.misses` for the mean).
+                    telemetry.counter("trace.bytes_resident", enc.encoded_bytes() as u64);
+                    telemetry.counter(
+                        "trace.encoded_ratio",
+                        (enc.materialized_bytes() / enc.encoded_bytes().max(1)) as u64,
+                    );
+                    ResidentTrace::Encoded(enc)
+                }
+                TracePolicy::Regenerate => {
+                    let _gen = telemetry.span("campaign.generate_trace");
+                    job.workload
+                        .generate_into(&job.coords, job.scale, &mut observer);
+                    ResidentTrace::Regenerate
+                }
             };
             let generate_seconds = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            let profile = ApplicationProfile::of(&trace);
+            let profile = observer.finish();
             let profile_seconds = t1.elapsed().as_secs_f64();
             ProfiledPoint {
                 trace,
@@ -780,7 +893,18 @@ fn execute_job(
     }
     let point = cache.profiled(job);
     let t = Instant::now();
-    let report = NmcSystem::new(job.arch.clone()).run(&point.trace);
+    let system = NmcSystem::new(job.arch.clone());
+    // Both arms feed the simulator the exact instruction sequence the
+    // kernel emits ([`NmcSystem::run`] itself delegates to `run_streams`),
+    // so the report — and thus the labeled row — is policy-independent.
+    let report = match &point.trace {
+        ResidentTrace::Encoded(enc) => system.run_streams(
+            (0..enc.num_threads())
+                .map(|t| enc.thread_iter(t))
+                .collect::<Vec<_>>(),
+        ),
+        ResidentTrace::Regenerate => system.run(&job.workload.generate(&job.coords, job.scale)),
+    };
     let simulate_seconds = t.elapsed().as_secs_f64();
     let mut run = LabeledRun::from_report_checked(
         job.workload,
@@ -1073,6 +1197,74 @@ mod tests {
         let first = cache.profiled(&jobs[0]) as *const ProfiledPoint;
         let second = cache.profiled(&jobs[1]) as *const ProfiledPoint;
         assert_eq!(first, second, "same point must share one analysis");
+    }
+
+    #[test]
+    fn trace_policy_parses_like_documented() {
+        assert_eq!(TracePolicy::from_spec(""), TracePolicy::Encoded);
+        assert_eq!(TracePolicy::from_spec("  "), TracePolicy::Encoded);
+        assert_eq!(TracePolicy::from_spec("encoded"), TracePolicy::Encoded);
+        assert_eq!(TracePolicy::from_spec("Encoded"), TracePolicy::Encoded);
+        assert_eq!(
+            TracePolicy::from_spec(" regenerate "),
+            TracePolicy::Regenerate
+        );
+        assert_eq!(TracePolicy::from_spec("mystery"), TracePolicy::Encoded);
+        assert_eq!(TracePolicy::default(), TracePolicy::Encoded);
+    }
+
+    #[test]
+    fn trace_policies_produce_identical_rows() {
+        // The residency policy trades memory for compute only: the labeled
+        // rows must be bit-identical whether the simulator decodes the
+        // cached compact trace or re-generates the kernel from scratch.
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax],
+            arch_configs: arch_neighborhood().into_iter().take(2).collect(),
+            scale: Scale::tiny(),
+            dedup: true,
+        };
+        let jobs = plan_jobs(&plan);
+        let run_with = |policy| {
+            let cache = ProfileCache::with_policy(&jobs, policy);
+            jobs.iter()
+                .map(|j| execute_job(j, &cache, None, 0).expect("clean job").0)
+                .collect::<Vec<_>>()
+        };
+        let encoded = run_with(TracePolicy::Encoded);
+        let regenerated = run_with(TracePolicy::Regenerate);
+        assert_eq!(encoded, regenerated);
+    }
+
+    #[test]
+    fn encoded_policy_keeps_traces_at_least_4x_smaller() {
+        let plan = CollectionPlan {
+            workloads: vec![Workload::Atax],
+            arch_configs: arch_neighborhood().into_iter().take(1).collect(),
+            scale: Scale::tiny(),
+            dedup: true,
+        };
+        let jobs = plan_jobs(&plan);
+        let cache = ProfileCache::with_policy(&jobs, TracePolicy::Encoded);
+        for job in &jobs {
+            let point = cache.profiled(job);
+            let ResidentTrace::Encoded(enc) = &point.trace else {
+                panic!("encoded policy must cache an encoded trace");
+            };
+            assert!(
+                enc.encoded_bytes() * 4 <= enc.materialized_bytes(),
+                "{}: {} encoded vs {} materialized bytes",
+                job.describe(),
+                enc.encoded_bytes(),
+                enc.materialized_bytes()
+            );
+        }
+        // The regenerate policy holds no trace at all.
+        let cache = ProfileCache::with_policy(&jobs, TracePolicy::Regenerate);
+        assert!(matches!(
+            cache.profiled(&jobs[0]).trace,
+            ResidentTrace::Regenerate
+        ));
     }
 
     /// The headline guarantee: a threaded campaign's output is exactly the

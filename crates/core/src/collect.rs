@@ -61,7 +61,8 @@ pub fn param_space(spec: &WorkloadSpec) -> ParamSpace {
 /// The CCD design points for a workload, with the paper's replication rule.
 pub fn doe_points(spec: &WorkloadSpec, dedup: bool) -> Vec<DesignPoint> {
     let space = param_space(spec);
-    let design = central_composite(&space, &CcdOptions::paper_defaults(&space));
+    let design = central_composite(&space, &CcdOptions::paper_defaults(&space))
+        .expect("Table 2 workloads have at most 4 parameters");
     if dedup {
         design.unique_points()
     } else {
@@ -72,7 +73,9 @@ pub fn doe_points(spec: &WorkloadSpec, dedup: bool) -> Vec<DesignPoint> {
 /// The paper's "#DoE conf." count for a workload (replicates included).
 pub fn doe_config_count(spec: &WorkloadSpec) -> usize {
     let space = param_space(spec);
-    central_composite(&space, &CcdOptions::paper_defaults(&space)).len()
+    central_composite(&space, &CcdOptions::paper_defaults(&space))
+        .expect("Table 2 workloads have at most 4 parameters")
+        .len()
 }
 
 /// Runs the campaign of `plan`, returning the labeled training set.

@@ -20,7 +20,7 @@
 //! deduplicated set when re-running a deterministic simulator would add no
 //! information.
 
-use crate::space::{DesignPoint, Level, ParamSpace};
+use crate::space::{DesignError, DesignPoint, Level, ParamSpace};
 
 /// Options controlling CCD construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,7 +118,7 @@ impl<'a> IntoIterator for &'a CentralComposite {
 ///     ParamDef::integer("dimension", [500.0, 1250.0, 1500.0, 2000.0, 2300.0])?,
 ///     ParamDef::integer("threads", [4.0, 8.0, 16.0, 32.0, 64.0])?,
 /// ])?;
-/// let d = ccd::central_composite(&space, &ccd::CcdOptions::paper_defaults(&space));
+/// let d = ccd::central_composite(&space, &ccd::CcdOptions::paper_defaults(&space))?;
 /// // The four corners from the paper: (1250,8) (1250,32) (2000,8) (2000,32)
 /// assert!(d.points().any(|p| p.coords() == [1250.0, 8.0]));
 /// assert!(d.points().any(|p| p.coords() == [2000.0, 32.0]));
@@ -127,8 +127,20 @@ impl<'a> IntoIterator for &'a CentralComposite {
 /// assert!(d.points().any(|p| p.coords() == [1500.0, 64.0]));
 /// # Ok::<(), napel_doe::DesignError>(())
 /// ```
-pub fn central_composite(space: &ParamSpace, options: &CcdOptions) -> CentralComposite {
+///
+/// # Errors
+///
+/// Returns [`DesignError::FactorialOverflow`] for spaces of 64 or more
+/// parameters, whose `2^k` factorial corners cannot even be counted in a
+/// `u64` (previously a debug-build shift-overflow panic).
+pub fn central_composite(
+    space: &ParamSpace,
+    options: &CcdOptions,
+) -> Result<CentralComposite, DesignError> {
     let k = space.dims();
+    if k >= u64::BITS as usize {
+        return Err(DesignError::FactorialOverflow { dims: k });
+    }
     let mut points = Vec::with_capacity((1usize << k.min(20)) + 2 * k + options.center_replicates);
 
     // 1. Factorial corners: every low/high combination.
@@ -161,7 +173,7 @@ pub fn central_composite(space: &ParamSpace, options: &CcdOptions) -> CentralCom
         points.push((central.clone(), PointKind::Center));
     }
 
-    CentralComposite { points }
+    Ok(CentralComposite { points })
 }
 
 #[cfg(test)]
@@ -177,12 +189,28 @@ mod tests {
     }
 
     #[test]
+    fn oversized_factorial_designs_are_typed_errors() {
+        // 2^64 corner points cannot be enumerated; this used to be a
+        // debug-build shift-overflow panic in `0..(1u64 << k)`.
+        for k in [64usize, 65, 100] {
+            let s = space(k);
+            let err = central_composite(&s, &CcdOptions::single_center()).unwrap_err();
+            assert_eq!(err, DesignError::FactorialOverflow { dims: k });
+            assert!(err.to_string().contains(&format!("2^{k}")), "{err}");
+        }
+        // The largest representable design size is still constructible in
+        // principle (k = 63 would OOM in practice, so just check the
+        // boundary predicate, not the allocation).
+        assert!(central_composite(&space(5), &CcdOptions::single_center()).is_ok());
+    }
+
+    #[test]
     fn sizes_match_table4() {
         // Paper Table 4: atax (k=2) has 11 DoE configurations, the
         // 3-parameter apps 19, the 4-parameter apps 31.
         for (k, expected) in [(2usize, 11usize), (3, 19), (4, 31)] {
             let s = space(k);
-            let d = central_composite(&s, &CcdOptions::paper_defaults(&s));
+            let d = central_composite(&s, &CcdOptions::paper_defaults(&s)).unwrap();
             assert_eq!(d.len(), expected, "k={k}");
         }
     }
@@ -191,7 +219,7 @@ mod tests {
     fn minimal_design_size_formula() {
         for k in 1..=5 {
             let s = space(k);
-            let d = central_composite(&s, &CcdOptions::single_center());
+            let d = central_composite(&s, &CcdOptions::single_center()).unwrap();
             assert_eq!(d.len(), (1 << k) + 2 * k + 1, "k={k}");
         }
     }
@@ -199,7 +227,7 @@ mod tests {
     #[test]
     fn corner_points_use_low_high_only() {
         let s = space(3);
-        let d = central_composite(&s, &CcdOptions::single_center());
+        let d = central_composite(&s, &CcdOptions::single_center()).unwrap();
         for (p, kind) in d.annotated() {
             if *kind == PointKind::Corner {
                 assert!(p.coords().iter().all(|&c| c == 1.0 || c == 3.0), "{p}");
@@ -210,7 +238,7 @@ mod tests {
     #[test]
     fn axial_points_have_one_extreme_coordinate() {
         let s = space(3);
-        let d = central_composite(&s, &CcdOptions::single_center());
+        let d = central_composite(&s, &CcdOptions::single_center()).unwrap();
         for (p, kind) in d.annotated() {
             if *kind == PointKind::Axial {
                 let extremes = p.coords().iter().filter(|&&c| c == 0.0 || c == 4.0).count();
@@ -223,7 +251,7 @@ mod tests {
     #[test]
     fn unique_points_collapse_center_replicates() {
         let s = space(2);
-        let d = central_composite(&s, &CcdOptions::paper_defaults(&s));
+        let d = central_composite(&s, &CcdOptions::paper_defaults(&s)).unwrap();
         assert_eq!(d.len(), 11);
         assert_eq!(d.unique_points().len(), 9); // 4 corners + 4 axial + 1 center
     }
@@ -236,7 +264,7 @@ mod tests {
             ParamDef::integer("threads", [4.0, 8.0, 16.0, 32.0, 64.0]).unwrap(),
         ])
         .unwrap();
-        let d = central_composite(&s, &CcdOptions::paper_defaults(&s));
+        let d = central_composite(&s, &CcdOptions::paper_defaults(&s)).unwrap();
         let expect = [
             [1250.0, 8.0],
             [1250.0, 32.0],

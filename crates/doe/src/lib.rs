@@ -27,7 +27,7 @@
 //!     ParamDef::integer("dimension", [500.0, 1250.0, 1500.0, 2000.0, 2300.0])?,
 //!     ParamDef::integer("threads", [4.0, 8.0, 16.0, 32.0, 64.0])?,
 //! ])?;
-//! let design = napel_doe::ccd::central_composite(&space, &CcdOptions::paper_defaults(&space));
+//! let design = napel_doe::ccd::central_composite(&space, &CcdOptions::paper_defaults(&space))?;
 //! assert_eq!(design.len(), 11); // matches Table 4, "#DoE conf." for atax
 //! # Ok::<(), napel_doe::DesignError>(())
 //! ```

@@ -75,6 +75,12 @@ pub enum DesignError {
         /// Dimensions the point carried.
         got: usize,
     },
+    /// A factorial design over this many parameters is unrepresentable
+    /// (`2^k` corner points overflow; no real campaign is this large).
+    FactorialOverflow {
+        /// Dimensions of the offending space.
+        dims: usize,
+    },
 }
 
 impl fmt::Display for DesignError {
@@ -91,6 +97,13 @@ impl fmt::Display for DesignError {
                 write!(
                     f,
                     "design point has {got} coordinates, space expects {expected}"
+                )
+            }
+            DesignError::FactorialOverflow { dims } => {
+                write!(
+                    f,
+                    "a {dims}-parameter space needs 2^{dims} factorial corner \
+                     points, which is unrepresentable"
                 )
             }
         }

@@ -37,13 +37,13 @@ proptest! {
     fn ccd_cardinality_formula(space in spaces(), extra_centers in 0usize..6) {
         let k = space.dims();
         let opts = CcdOptions { center_replicates: 1 + extra_centers };
-        let d = central_composite(&space, &opts);
+        let d = central_composite(&space, &opts).unwrap();
         prop_assert_eq!(d.len(), (1 << k) + 2 * k + 1 + extra_centers);
     }
 
     #[test]
     fn ccd_points_use_only_declared_level_values(space in spaces()) {
-        let d = central_composite(&space, &CcdOptions::paper_defaults(&space));
+        let d = central_composite(&space, &CcdOptions::paper_defaults(&space)).unwrap();
         for point in d.points() {
             for (i, &c) in point.coords().iter().enumerate() {
                 let levels = space.param(i).levels();
@@ -57,7 +57,7 @@ proptest! {
 
     #[test]
     fn ccd_unique_points_have_no_duplicates(space in spaces()) {
-        let d = central_composite(&space, &CcdOptions::paper_defaults(&space));
+        let d = central_composite(&space, &CcdOptions::paper_defaults(&space)).unwrap();
         let unique = d.unique_points();
         for (i, a) in unique.iter().enumerate() {
             for b in unique.iter().skip(i + 1) {

@@ -30,11 +30,15 @@
 //! ```
 
 mod emitter;
+pub mod encode;
 pub mod fxhash;
 mod inst;
 pub mod io;
 mod trace;
 
 pub use emitter::Emitter;
+pub use encode::{DecodeIter, EncodedTrace, EncodedTraceSink};
 pub use inst::{Inst, OpClass, Opcode, Reg, NO_ADDR, NO_REG};
-pub use trace::{CountingSink, MultiTrace, TeeSink, Trace, TraceSink};
+pub use trace::{
+    CountingSink, MultiTrace, PerThread, TeeSink, ThreadedTraceSink, Trace, TraceSink,
+};

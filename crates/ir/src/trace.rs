@@ -21,6 +21,61 @@ impl<T: TraceSink + ?Sized> TraceSink for &mut T {
     }
 }
 
+/// A consumer of a *multi-threaded* dynamic instruction stream.
+///
+/// Workload kernels generate one instruction stream per software thread.
+/// This trait is the streaming counterpart of [`MultiTrace`]: a kernel
+/// announces its thread count with [`begin`](ThreadedTraceSink::begin) and
+/// then records `(thread, inst)` pairs — thread-major, i.e. thread 0's full
+/// stream, then thread 1's, and so on, matching both the kernels' emission
+/// order and the per-thread order the PISA profiler analyzes in.
+///
+/// The [`thread`](ThreadedTraceSink::thread) adapter yields a plain
+/// [`TraceSink`] view pinned to one thread, so an
+/// [`Emitter`](crate::Emitter) works against any threaded sink unchanged.
+pub trait ThreadedTraceSink {
+    /// Announces the number of software threads before any instruction is
+    /// recorded. Implementations may allocate per-thread state here; the
+    /// count includes threads that end up recording nothing.
+    fn begin(&mut self, num_threads: usize);
+
+    /// Records one dynamic instruction of thread `thread`.
+    fn record(&mut self, thread: usize, inst: Inst);
+
+    /// A [`TraceSink`] view pinned to `thread`, for use with
+    /// [`Emitter`](crate::Emitter).
+    fn thread(&mut self, thread: usize) -> PerThread<'_, Self> {
+        PerThread { sink: self, thread }
+    }
+}
+
+impl<T: ThreadedTraceSink + ?Sized> ThreadedTraceSink for &mut T {
+    #[inline]
+    fn begin(&mut self, num_threads: usize) {
+        (**self).begin(num_threads);
+    }
+
+    #[inline]
+    fn record(&mut self, thread: usize, inst: Inst) {
+        (**self).record(thread, inst);
+    }
+}
+
+/// A single-thread [`TraceSink`] view over a [`ThreadedTraceSink`]; created
+/// by [`ThreadedTraceSink::thread`].
+#[derive(Debug)]
+pub struct PerThread<'a, S: ?Sized> {
+    sink: &'a mut S,
+    thread: usize,
+}
+
+impl<S: ThreadedTraceSink + ?Sized> TraceSink for PerThread<'_, S> {
+    #[inline]
+    fn record(&mut self, inst: Inst) {
+        self.sink.record(self.thread, inst);
+    }
+}
+
 /// An in-memory dynamic instruction trace for one hardware thread.
 ///
 /// # Example
@@ -199,6 +254,29 @@ impl<'a> IntoIterator for &'a MultiTrace {
     }
 }
 
+impl ThreadedTraceSink for MultiTrace {
+    /// Resets the container to `num_threads` empty lanes, so a
+    /// `MultiTrace::default()` can be handed to a streaming kernel and
+    /// collect its full trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero (same contract as
+    /// [`MultiTrace::new`]).
+    fn begin(&mut self, num_threads: usize) {
+        assert!(
+            num_threads > 0,
+            "a kernel execution has at least one thread"
+        );
+        self.threads = vec![Trace::new(); num_threads];
+    }
+
+    #[inline]
+    fn record(&mut self, thread: usize, inst: Inst) {
+        self.threads[thread].record(inst);
+    }
+}
+
 /// Iterator created by [`MultiTrace::interleaved`].
 #[derive(Debug, Clone)]
 pub struct Interleaved<'a> {
@@ -244,8 +322,10 @@ pub struct TeeSink<A, B> {
     second: B,
 }
 
-impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
-    /// Creates a tee over two sinks.
+impl<A, B> TeeSink<A, B> {
+    /// Creates a tee over two sinks (plain [`TraceSink`]s or
+    /// [`ThreadedTraceSink`]s — the tee implements whichever both halves
+    /// do).
     pub fn new(first: A, second: B) -> Self {
         TeeSink { first, second }
     }
@@ -261,6 +341,19 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
     fn record(&mut self, inst: Inst) {
         self.first.record(inst);
         self.second.record(inst);
+    }
+}
+
+impl<A: ThreadedTraceSink, B: ThreadedTraceSink> ThreadedTraceSink for TeeSink<A, B> {
+    fn begin(&mut self, num_threads: usize) {
+        self.first.begin(num_threads);
+        self.second.begin(num_threads);
+    }
+
+    #[inline]
+    fn record(&mut self, thread: usize, inst: Inst) {
+        self.first.record(thread, inst);
+        self.second.record(thread, inst);
     }
 }
 
@@ -293,6 +386,16 @@ impl TraceSink for CountingSink {
     fn record(&mut self, inst: Inst) {
         self.total += 1;
         self.per_op[inst.op.index()] += 1;
+    }
+}
+
+impl ThreadedTraceSink for CountingSink {
+    fn begin(&mut self, _num_threads: usize) {}
+
+    #[inline]
+    fn record(&mut self, thread: usize, inst: Inst) {
+        let _ = thread;
+        TraceSink::record(self, inst);
     }
 }
 
@@ -372,5 +475,44 @@ mod tests {
         let mut t = Trace::new();
         feed(&mut t);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn threaded_sink_collects_into_multitrace() {
+        fn kernel<S: ThreadedTraceSink + ?Sized>(sink: &mut S) {
+            sink.begin(2);
+            for t in 0..2 {
+                let mut lane = sink.thread(t);
+                lane.record(inst(t as u32));
+                lane.record(inst(10 + t as u32));
+            }
+        }
+        let mut m = MultiTrace::default();
+        kernel(&mut m);
+        assert_eq!(m.num_threads(), 2);
+        assert_eq!(m.thread(0).insts()[1].pc, 10);
+        assert_eq!(m.thread(1).insts()[0].pc, 1);
+
+        // The same kernel against a counting sink and a threaded tee.
+        let mut tee = TeeSink::new(MultiTrace::default(), CountingSink::new());
+        kernel(&mut tee);
+        let (m2, c) = tee.into_inner();
+        assert_eq!(m2, m);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn threaded_begin_resets_lanes() {
+        let mut m = MultiTrace::new(1);
+        ThreadedTraceSink::record(&mut m, 0, inst(0));
+        m.begin(3);
+        assert_eq!(m.num_threads(), 3);
+        assert_eq!(m.total_insts(), 0, "begin discards stale lanes");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn threaded_begin_zero_panics() {
+        MultiTrace::default().begin(0);
     }
 }

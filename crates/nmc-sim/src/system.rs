@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use napel_ir::MultiTrace;
+use napel_ir::{Inst, MultiTrace};
 
 use crate::cache::CacheStats;
 use crate::config::ArchConfig;
@@ -57,26 +57,54 @@ impl NmcSystem {
     /// metrics registry after the fact — instrumentation never touches
     /// the timing model, so cycle results are bit-identical either way.
     pub fn run(&self, trace: &MultiTrace) -> SimReport {
+        self.run_streams(
+            trace
+                .iter()
+                .map(|t| t.insts().iter().copied())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Simulates one kernel execution from per-thread instruction streams,
+    /// without ever materializing a [`MultiTrace`].
+    ///
+    /// `streams[t]` is software thread `t`'s instruction stream, in program
+    /// order — e.g. [`napel_ir::EncodedTrace::thread_iter`] decoding a
+    /// compact trace on the fly. Each stream is pulled lazily, exactly once
+    /// per instruction, as its PE advances; peak residency is one
+    /// instruction per stream plus whatever the iterators themselves hold.
+    ///
+    /// [`run`](Self::run) delegates here, so both entry points produce
+    /// bit-identical [`SimReport`]s and identical telemetry for the same
+    /// instruction sequences. `ExactSizeIterator` is required only to
+    /// report the total instruction count on the `nmc_sim.run` span before
+    /// simulation starts.
+    pub fn run_streams<I>(&self, mut streams: Vec<I>) -> SimReport
+    where
+        I: ExactSizeIterator<Item = Inst>,
+    {
+        let num_threads = streams.len();
+        let total_insts: u64 = streams.iter().map(|s| s.len() as u64).sum();
         let telemetry = napel_telemetry::global();
         let _span = telemetry
             .span("nmc_sim.run")
-            .attr("threads", trace.num_threads())
-            .attr("insts", trace.total_insts());
+            .attr("threads", num_threads)
+            .attr("insts", total_insts);
         let cfg = &self.config;
-        let num_pes = cfg.num_pes.min(trace.num_threads()).max(1);
+        let num_pes = cfg.num_pes.min(num_threads).max(1);
 
         // Assign threads to PEs round-robin; each PE executes its threads'
-        // traces concatenated.
+        // streams concatenated.
         let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); num_pes];
-        for t in 0..trace.num_threads() {
+        for t in 0..num_threads {
             assignments[t % num_pes].push(t);
         }
 
         let mut dram = DramModel::new(cfg);
         let mut pes: Vec<ProcessingElement> =
             (0..num_pes).map(|_| ProcessingElement::new(cfg)).collect();
-        // Per-PE cursor: (thread list index, instruction index).
-        let mut cursors: Vec<(usize, usize)> = vec![(0, 0); num_pes];
+        // Per-PE cursor: index into its thread-assignment list.
+        let mut cursors: Vec<usize> = vec![0; num_pes];
 
         // Min-heap over PE local time so shared-resource contention is
         // resolved in (approximately) global time order.
@@ -86,20 +114,15 @@ impl NmcSystem {
             .collect();
 
         while let Some(Reverse((_, p))) = heap.pop() {
-            let (ref mut ti, ref mut ii) = cursors[p];
             // Find the next instruction for this PE.
             let inst = loop {
-                match assignments[p].get(*ti) {
+                match assignments[p].get(cursors[p]) {
                     None => break None,
                     Some(&thread) => {
-                        let tr = trace.thread(thread);
-                        if *ii < tr.len() {
-                            let inst = tr.insts()[*ii];
-                            *ii += 1;
+                        if let Some(inst) = streams[thread].next() {
                             break Some(inst);
                         }
-                        *ti += 1;
-                        *ii = 0;
+                        cursors[p] += 1;
                     }
                 }
             };
@@ -308,6 +331,33 @@ mod tests {
             "cycle counts are frequency-independent here"
         );
         assert!(rf.exec_time_seconds() < rs.exec_time_seconds());
+    }
+
+    #[test]
+    fn run_streams_matches_run_on_decoded_trace() {
+        // Simulating straight from compact-encoded per-thread iterators
+        // must be bit-identical to simulating the materialized trace,
+        // including when threads outnumber PEs and share them.
+        for (threads, num_pes) in [(1usize, 4usize), (4, 4), (8, 3)] {
+            let t = streaming(threads, 200);
+            let enc = napel_ir::EncodedTrace::from_multi(&t);
+            let sys = NmcSystem::new(ArchConfig {
+                num_pes,
+                ..ArchConfig::paper_default()
+            });
+            let materialized = sys.run(&t);
+            let streamed = sys.run_streams((0..threads).map(|th| enc.thread_iter(th)).collect());
+            assert_eq!(streamed, materialized, "{threads} threads / {num_pes} PEs");
+        }
+    }
+
+    #[test]
+    fn run_streams_with_no_threads_matches_empty_trace() {
+        let sys = NmcSystem::new(ArchConfig::paper_default());
+        let empty: Vec<napel_ir::DecodeIter<'_>> = Vec::new();
+        let r = sys.run_streams(empty);
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r, sys.run(&MultiTrace::default()));
     }
 
     #[test]

@@ -48,4 +48,4 @@ mod profile;
 pub mod reuse;
 pub mod traffic;
 
-pub use profile::{feature_names, ApplicationProfile, NUM_REUSE_BUCKETS};
+pub use profile::{feature_names, ApplicationProfile, ProfileObserver, NUM_REUSE_BUCKETS};

@@ -2,7 +2,7 @@
 
 use std::sync::OnceLock;
 
-use napel_ir::{MultiTrace, OpClass, Opcode};
+use napel_ir::{Inst, MultiTrace, OpClass, Opcode, ThreadedTraceSink};
 
 use crate::footprint::FootprintAnalyzer;
 use crate::ilp::IlpAnalyzer;
@@ -42,28 +42,161 @@ impl ApplicationProfile {
             .attr("insts", trace.total_insts());
         telemetry.counter("pisa.instructions", trace.total_insts() as u64);
 
-        let mut mix = MixCounter::new();
-        let mut ilp = IlpAnalyzer::new();
-        let mut elem = TrafficAnalyzer::new(Granularity::Element);
-        let mut line = TrafficAnalyzer::new(Granularity::Line64);
-        let mut inst_reuse = ReuseAnalyzer::with_capacity(trace.total_insts());
-        let mut footprint = FootprintAnalyzer::new();
-
+        let mut observer = ProfileObserver::with_capacity(trace.total_insts());
+        ThreadedTraceSink::begin(&mut observer, trace.num_threads());
         {
             let _observe = telemetry.span("pisa.observe");
             for thread in trace.iter() {
                 for inst in thread.iter() {
-                    mix.observe(inst);
-                    ilp.observe(inst);
-                    elem.observe(inst);
-                    line.observe(inst);
-                    inst_reuse.access(u64::from(inst.pc));
-                    footprint.observe(inst);
+                    observer.observe(inst);
                 }
             }
         }
 
         let _assemble = telemetry.span("pisa.assemble");
+        observer.assemble()
+    }
+
+    /// The feature values, aligned with [`feature_names`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Looks up a feature by name, returning `None` if `name` is not a
+    /// profile feature — the fallible twin of [`Self::value`], for
+    /// callers (like the campaign runtime) that must turn a
+    /// feature-schema mismatch into an error instead of a panic.
+    pub fn try_value(&self, name: &str) -> Option<f64> {
+        let idx = *feature_index().get(name)?;
+        self.values.get(idx).copied()
+    }
+
+    /// Looks up a feature by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a profile feature (see [`feature_names`]);
+    /// use [`Self::try_value`] where a mismatch must be recoverable.
+    pub fn value(&self, name: &str) -> f64 {
+        self.try_value(name)
+            .unwrap_or_else(|| panic!("unknown profile feature `{name}`"))
+    }
+}
+
+/// Streaming construction of an [`ApplicationProfile`]: every analyzer
+/// behind the profile is incremental, so the profile of a kernel can be
+/// computed *while the kernel generates its trace*, without the trace ever
+/// being materialized.
+///
+/// The observer is a [`ThreadedTraceSink`], so it plugs directly into
+/// [`generate_into`](https://docs.rs/napel-workloads) — typically tee'd
+/// with a compact trace encoder. Instructions must arrive **thread-major**
+/// (thread 0's full stream, then thread 1's, ...), which is both the order
+/// every kernel emits in and the per-thread order
+/// [`ApplicationProfile::of`] analyzes in; the resulting profile is
+/// bit-identical to profiling the collected trace (enforced by test and by
+/// `of` itself being implemented on top of this observer).
+///
+/// ```
+/// use napel_ir::{Emitter, MultiTrace, ThreadedTraceSink};
+/// use napel_pisa::{ApplicationProfile, ProfileObserver};
+///
+/// let mut trace = MultiTrace::new(1);
+/// let mut observer = ProfileObserver::new();
+/// observer.begin(1);
+/// {
+///     let mut e = Emitter::new(napel_ir::TeeSink::new(
+///         trace.thread_sink(0),
+///         observer.thread(0),
+///     ));
+///     let x = e.load(0, 0x100, 8);
+///     e.store(1, 0x108, 8, x);
+/// }
+/// assert_eq!(observer.finish(), ApplicationProfile::of(&trace));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileObserver {
+    mix: MixCounter,
+    ilp: IlpAnalyzer,
+    elem: TrafficAnalyzer,
+    line: TrafficAnalyzer,
+    inst_reuse: ReuseAnalyzer,
+    footprint: FootprintAnalyzer,
+    num_threads: usize,
+    insts: u64,
+    last_thread: usize,
+}
+
+impl ProfileObserver {
+    /// Creates an empty observer. Call
+    /// [`begin`](ThreadedTraceSink::begin) (directly or through a
+    /// streaming kernel) before recording; the thread count is itself a
+    /// profile feature.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an observer pre-sized for `n` instructions (sizes the
+    /// instruction-reuse tracker; affects speed only, never results).
+    pub fn with_capacity(n: usize) -> Self {
+        ProfileObserver {
+            mix: MixCounter::new(),
+            ilp: IlpAnalyzer::new(),
+            elem: TrafficAnalyzer::new(Granularity::Element),
+            line: TrafficAnalyzer::new(Granularity::Line64),
+            inst_reuse: ReuseAnalyzer::with_capacity(n),
+            footprint: FootprintAnalyzer::new(),
+            num_threads: 0,
+            insts: 0,
+            last_thread: 0,
+        }
+    }
+
+    /// Feeds one instruction to every analyzer.
+    #[inline]
+    pub fn observe(&mut self, inst: &Inst) {
+        self.insts += 1;
+        self.mix.observe(inst);
+        self.ilp.observe(inst);
+        self.elem.observe(inst);
+        self.line.observe(inst);
+        self.inst_reuse.access(u64::from(inst.pc));
+        self.footprint.observe(inst);
+    }
+
+    /// Instructions observed so far.
+    pub fn instructions(&self) -> u64 {
+        self.insts
+    }
+
+    /// Finishes the stream and assembles the profile, with the same
+    /// telemetry (`pisa.profile` span, `pisa.instructions` counter) a
+    /// call to [`ApplicationProfile::of`] would emit — the observation
+    /// itself happened wherever the stream was produced.
+    pub fn finish(self) -> ApplicationProfile {
+        let telemetry = napel_telemetry::global();
+        let _span = telemetry
+            .span("pisa.profile")
+            .attr("threads", self.num_threads)
+            .attr("insts", self.insts);
+        telemetry.counter("pisa.instructions", self.insts);
+        let _assemble = telemetry.span("pisa.assemble");
+        self.assemble()
+    }
+
+    /// Assembles the feature vector from the analyzer states (no
+    /// telemetry — callers wrap this in their own spans).
+    fn assemble(self) -> ApplicationProfile {
+        let ProfileObserver {
+            mix,
+            ilp,
+            elem,
+            line,
+            inst_reuse,
+            footprint,
+            num_threads,
+            ..
+        } = self;
         let mut values = Vec::with_capacity(feature_names().len());
 
         // 1-2. Instruction mix.
@@ -121,35 +254,35 @@ impl ApplicationProfile {
         values.push(log2p1(footprint.written_bytes() as f64));
         values.push(log2p1(footprint.static_insts() as f64));
         // 12. Threads.
-        values.push(trace.num_threads() as f64);
+        values.push(num_threads as f64);
 
         debug_assert_eq!(values.len(), feature_names().len());
         ApplicationProfile { values }
     }
+}
 
-    /// The feature values, aligned with [`feature_names`].
-    pub fn values(&self) -> &[f64] {
-        &self.values
+impl Default for ProfileObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadedTraceSink for ProfileObserver {
+    fn begin(&mut self, num_threads: usize) {
+        self.num_threads = num_threads;
     }
 
-    /// Looks up a feature by name, returning `None` if `name` is not a
-    /// profile feature — the fallible twin of [`Self::value`], for
-    /// callers (like the campaign runtime) that must turn a
-    /// feature-schema mismatch into an error instead of a panic.
-    pub fn try_value(&self, name: &str) -> Option<f64> {
-        let idx = *feature_index().get(name)?;
-        self.values.get(idx).copied()
-    }
-
-    /// Looks up a feature by name.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `name` is not a profile feature (see [`feature_names`]);
-    /// use [`Self::try_value`] where a mismatch must be recoverable.
-    pub fn value(&self, name: &str) -> f64 {
-        self.try_value(name)
-            .unwrap_or_else(|| panic!("unknown profile feature `{name}`"))
+    #[inline]
+    fn record(&mut self, thread: usize, inst: Inst) {
+        // Per-thread analyses (reuse, ILP, spatial locality) rely on the
+        // thread-major stream order documented on the type.
+        debug_assert!(
+            thread >= self.last_thread,
+            "ProfileObserver requires thread-major streams (thread {thread} after {})",
+            self.last_thread
+        );
+        self.last_thread = thread;
+        self.observe(&inst);
     }
 }
 
@@ -320,6 +453,43 @@ mod tests {
     fn threads_feature_tracks_multitrace() {
         let p = ApplicationProfile::of(&streaming_trace(16, 4));
         assert_eq!(p.value("threads"), 4.0);
+    }
+
+    #[test]
+    fn streaming_observer_is_bit_identical_to_of() {
+        let trace = streaming_trace(300, 3);
+        let mut obs = ProfileObserver::new();
+        ThreadedTraceSink::begin(&mut obs, trace.num_threads());
+        for (t, lane) in trace.iter().enumerate() {
+            for inst in lane.iter() {
+                ThreadedTraceSink::record(&mut obs, t, *inst);
+            }
+        }
+        assert_eq!(obs.instructions(), trace.total_insts() as u64);
+        let streamed = obs.finish();
+        let materialized = ApplicationProfile::of(&trace);
+        assert_eq!(
+            streamed.values(),
+            materialized.values(),
+            "streaming profile must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn observer_capacity_hint_never_changes_results() {
+        let trace = streaming_trace(500, 2);
+        let feed = |mut obs: ProfileObserver| {
+            ThreadedTraceSink::begin(&mut obs, trace.num_threads());
+            for (t, lane) in trace.iter().enumerate() {
+                for inst in lane.iter() {
+                    ThreadedTraceSink::record(&mut obs, t, *inst);
+                }
+            }
+            obs.finish()
+        };
+        let grown = feed(ProfileObserver::new());
+        let presized = feed(ProfileObserver::with_capacity(trace.total_insts()));
+        assert_eq!(grown.values(), presized.values());
     }
 
     #[test]

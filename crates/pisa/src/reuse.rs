@@ -103,9 +103,19 @@ impl ReuseHistogram {
 
     /// Smallest bucket whose CDF reaches `q` (e.g. 0.5 for the median
     /// log₂-distance), or `NUM_BUCKETS` if never reached (mostly cold).
+    ///
+    /// One running prefix sum — O(B), not O(B²) of recomputing `cdf(b)`
+    /// from scratch per bucket — with bit-identical results: the running
+    /// sum is the same exact `u64` sum `cdf` would divide by `total`.
     pub fn quantile_bucket(&self, q: f64) -> usize {
+        if self.total == 0 {
+            // `cdf` is identically 0.0 here; preserve its comparison.
+            return if 0.0 >= q { 0 } else { NUM_BUCKETS };
+        }
+        let mut hits = 0u64;
         for b in 0..NUM_BUCKETS {
-            if self.cdf(b) >= q {
+            hits += self.buckets[b];
+            if hits as f64 / self.total as f64 >= q {
                 return b;
             }
         }
@@ -195,12 +205,25 @@ impl StackDistance {
     }
 
     fn grow(&mut self, need: usize) {
-        let new_len = (need + 1).next_power_of_two().max(1024);
-        // Rebuild the Fenwick from the surviving marks in `last`.
+        // At least double (a large `with_capacity` keeps paying off after
+        // the first regrowth instead of snapping back to `need`-sized).
+        let new_len = (need + 1)
+            .next_power_of_two()
+            .max(self.tree.len().saturating_mul(2))
+            .max(1024);
+        // Rebuild the Fenwick from the surviving marks in `last` with the
+        // linear construction: scatter the point values, then push each
+        // node's partial sum to its parent once — O(m + n), not one
+        // O(log n) `update` per mark.
         self.tree = vec![0; new_len];
-        let marks: Vec<usize> = self.last.values().copied().collect();
-        for t in marks {
-            self.update(t, 1);
+        for &t in self.last.values() {
+            self.tree[t] += 1;
+        }
+        for i in 1..new_len {
+            let parent = i + (i & i.wrapping_neg());
+            if parent < new_len {
+                self.tree[parent] += self.tree[i];
+            }
         }
     }
 
@@ -330,6 +353,27 @@ mod tests {
         for (i, &k) in keys.iter().enumerate() {
             assert_eq!(s.access(k), expected[i], "mismatch at access {i}");
         }
+    }
+
+    #[test]
+    fn regrowth_on_long_stream_matches_preallocated() {
+        // A long pseudo-random stream with an ever-expanding key universe:
+        // the zero-capacity tracker regrows several times while thousands
+        // of live marks survive each rebuild, and must agree with a
+        // tracker that never regrows, on every single access.
+        const N: u64 = 50_000;
+        let mut grown = StackDistance::with_capacity(0);
+        let mut fixed = StackDistance::with_capacity(N as usize + 1);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..N {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Mix cold misses (growing universe) with reuse of hot keys.
+            let k = (x >> 33) % (i / 2 + 16);
+            assert_eq!(grown.access(k), fixed.access(k), "mismatch at access {i}");
+        }
+        assert_eq!(grown.distinct(), fixed.distinct());
     }
 
     #[test]

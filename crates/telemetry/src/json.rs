@@ -112,6 +112,7 @@ pub(crate) fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, Strin
     let mut p = Parser {
         bytes: line.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -125,9 +126,16 @@ pub(crate) fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, Strin
     }
 }
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// `value()` recurses once per `{`/`[` level, so without a cap a line
+/// like `[[[[…` overflows the stack instead of returning a parse error.
+/// The telemetry schema nests three levels at most.
+const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -153,12 +161,28 @@ impl Parser<'_> {
     fn value(&mut self) -> Result<JsonValue, String> {
         match self.peek() {
             Some(b'"') => Ok(JsonValue::String(self.string()?)),
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             Some(c) => Err(format!("unexpected `{}` at byte {}", c as char, self.pos)),
             None => Err("unexpected end of input".to_string()),
         }
+    }
+
+    fn nested(
+        &mut self,
+        f: fn(&mut Self) -> Result<JsonValue, String>,
+    ) -> Result<JsonValue, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let value = f(self);
+        self.depth -= 1;
+        value
     }
 
     fn object(&mut self) -> Result<JsonValue, String> {
@@ -342,5 +366,25 @@ mod tests {
         assert!(parse_object("{\"a\":}").is_err());
         assert!(parse_object("{\"a\":1} extra").is_err());
         assert!(parse_object("{\"a\":\"unterminated}").is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        // A malformed row of nothing but open brackets used to recurse
+        // once per byte and blow the stack.
+        let bomb = format!("{{\"a\":{}1{}}}", "[".repeat(100_000), "]".repeat(100_000));
+        let err = parse_object(&bomb).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+        let bomb = format!("{{\"a\":{}", "{\"b\":".repeat(100_000));
+        assert!(parse_object(&bomb).unwrap_err().contains("nesting"));
+    }
+
+    #[test]
+    fn schema_depth_nesting_still_parses() {
+        // Nesting up to the cap parses; one past it errors.
+        let ok = format!("{{\"a\":{}1{}}}", "[".repeat(63), "]".repeat(63));
+        assert!(parse_object(&ok).is_ok());
+        let too_deep = format!("{{\"a\":{}1{}}}", "[".repeat(64), "]".repeat(64));
+        assert!(parse_object(&too_deep).is_err());
     }
 }

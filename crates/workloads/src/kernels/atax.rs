@@ -6,14 +6,14 @@
 //! calls atax a boundary case for NMC suitability for exactly this reason
 //! (Section 3.4, fifth observation).
 
-use napel_ir::{Emitter, MultiTrace};
+use napel_ir::{Emitter, ThreadedTraceSink};
 
 use crate::kernels::layout::{array_base, mat, vec};
 use crate::kernels::{caps, chunk};
 use crate::Scale;
 
-/// Generates the atax trace. `params = [dimensions, threads]`.
-pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+/// Streams the atax trace into `sink`. `params = [dimensions, threads]`.
+pub fn generate_into<S: ThreadedTraceSink + ?Sized>(params: &[f64], scale: Scale, sink: &mut S) {
     let n = scale.dim(params[0], caps::MIN_DIM, caps::QUADRATIC);
     let threads = scale.threads(params[1]);
     let a = array_base(0);
@@ -21,9 +21,9 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
     let y = array_base(2);
     let tmp = array_base(3);
 
-    let mut trace = MultiTrace::new(threads);
+    sink.begin(threads);
     for t in 0..threads {
-        let mut e = Emitter::new(trace.thread_sink(t));
+        let mut e = Emitter::new(sink.thread(t));
         // Pass 1: tmp[i] = A[i][:] . x  (row streaming, x reused).
         for i in chunk(n, threads, t) {
             let mut acc = e.imm(0);
@@ -49,12 +49,17 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
             e.store(15, vec(y, j), 8, acc);
         }
     }
-    trace
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn generate(params: &[f64], scale: Scale) -> napel_ir::MultiTrace {
+        let mut trace = napel_ir::MultiTrace::default();
+        generate_into(params, scale, &mut trace);
+        trace
+    }
 
     #[test]
     fn instruction_count_scales_quadratically() {

@@ -11,15 +11,15 @@
 //! (`1 ..= 1 + min(weights, 15)`), which is how the parameter perturbs the
 //! dynamic behavior here. *Iterations* is the number of BFS sweeps.
 
-use napel_ir::{Emitter, MultiTrace};
+use napel_ir::{Emitter, ThreadedTraceSink};
 
 use crate::kernels::chunk;
 use crate::kernels::layout::{array_base, vec};
 use crate::rng::SplitMix64;
 use crate::Scale;
 
-/// Generates the bfs trace. `params = [nodes, weights, threads, iterations]`.
-pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+/// Streams the bfs trace into `sink`. `params = [nodes, weights, threads, iterations]`.
+pub fn generate_into<S: ThreadedTraceSink + ?Sized>(params: &[f64], scale: Scale, sink: &mut S) {
     let nodes = scale.data_large(params[0], 64, 1 << 24);
     let weights = params[1].max(1.0) as u64;
     let threads = scale.threads(params[2]);
@@ -38,9 +38,9 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
         1 + r.below(max_extra_degree + 1)
     };
 
-    let mut trace = MultiTrace::new(threads);
+    sink.begin(threads);
     for t in 0..threads {
-        let mut e = Emitter::new(trace.thread_sink(t));
+        let mut e = Emitter::new(sink.thread(t));
         for sweep in 0..iterations {
             for v in chunk(nodes, threads, t) {
                 // Visit check: load mask[v]; loop bookkeeping.
@@ -73,12 +73,17 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
             }
         }
     }
-    trace
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn generate(params: &[f64], scale: Scale) -> napel_ir::MultiTrace {
+        let mut trace = napel_ir::MultiTrace::default();
+        generate_into(params, scale, &mut trace);
+        trace
+    }
     use napel_pisa_free::profile_cold_fraction;
 
     /// Minimal local stand-in: fraction of loads that are first-touch at

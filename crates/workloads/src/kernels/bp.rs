@@ -7,7 +7,7 @@
 //! NMC fit. *Seed* initializes the (invisible-to-the-trace) weight values;
 //! it perturbs only the training-data ordering here.
 
-use napel_ir::{Emitter, MultiTrace};
+use napel_ir::{Emitter, ThreadedTraceSink};
 
 use crate::kernels::chunk;
 use crate::kernels::layout::{array_base, mat, vec};
@@ -17,8 +17,8 @@ use crate::Scale;
 /// Hidden-layer width of the Rodinia kernel configuration.
 const HIDDEN: u64 = 4;
 
-/// Generates the bp trace. `params = [layer_size, seed, threads, iterations]`.
-pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+/// Streams the bp trace into `sink`. `params = [layer_size, seed, threads, iterations]`.
+pub fn generate_into<S: ThreadedTraceSink + ?Sized>(params: &[f64], scale: Scale, sink: &mut S) {
     let layer = scale.data_large(params[0], 128, 1 << 24);
     let seed = params[1].max(0.0) as u64;
     let threads = scale.threads(params[2]);
@@ -29,9 +29,9 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
     let hidden = array_base(2);
     let delta = array_base(3);
 
-    let mut trace = MultiTrace::new(threads);
+    sink.begin(threads);
     for t in 0..threads {
-        let mut e = Emitter::new(trace.thread_sink(t));
+        let mut e = Emitter::new(sink.thread(t));
         let mut order = SplitMix64::new(seed.wrapping_mul(0x9E37) ^ t as u64);
         for _ in 0..iterations {
             // Input presentation order depends on the seed (jittered start).
@@ -68,12 +68,17 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
             }
         }
     }
-    trace
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn generate(params: &[f64], scale: Scale) -> napel_ir::MultiTrace {
+        let mut trace = napel_ir::MultiTrace::default();
+        generate_into(params, scale, &mut trace);
+        trace
+    }
     use napel_ir::Opcode;
 
     #[test]

@@ -5,14 +5,14 @@
 //! vectors reused — prefetch-friendly, locality-rich behavior that keeps
 //! this kernel on the host side of the paper's Figure 7.
 
-use napel_ir::{Emitter, MultiTrace};
+use napel_ir::{Emitter, ThreadedTraceSink};
 
 use crate::kernels::layout::{array_base, mat, vec};
 use crate::kernels::{caps, chunk};
 use crate::Scale;
 
-/// Generates the gemv trace. `params = [dimensions, threads, iterations]`.
-pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+/// Streams the gemv trace into `sink`. `params = [dimensions, threads, iterations]`.
+pub fn generate_into<S: ThreadedTraceSink + ?Sized>(params: &[f64], scale: Scale, sink: &mut S) {
     let n = scale.dim(params[0], caps::MIN_DIM, caps::QUADRATIC);
     let threads = scale.threads(params[1]);
     let iterations = scale.iters(params[2]);
@@ -23,9 +23,9 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
     let x = array_base(3);
     let y = array_base(4);
 
-    let mut trace = MultiTrace::new(threads);
+    sink.begin(threads);
     for t in 0..threads {
-        let mut e = Emitter::new(trace.thread_sink(t));
+        let mut e = Emitter::new(sink.thread(t));
         for _ in 0..iterations {
             // Pass 1: A[i][j] += u[i] * v[j] (row-major RMW stream).
             for i in chunk(n, threads, t) {
@@ -51,12 +51,17 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
             }
         }
     }
-    trace
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn generate(params: &[f64], scale: Scale) -> napel_ir::MultiTrace {
+        let mut trace = napel_ir::MultiTrace::default();
+        generate_into(params, scale, &mut trace);
+        trace
+    }
     use napel_ir::Opcode;
 
     #[test]

@@ -5,14 +5,14 @@
 //! Figure 7 discussion groups gramschmidt with the irregular,
 //! memory-intensive NMC-friendly kernels.
 
-use napel_ir::{Emitter, MultiTrace};
+use napel_ir::{Emitter, ThreadedTraceSink};
 
 use crate::kernels::layout::{array_base, mat};
 use crate::kernels::{caps, chunk};
 use crate::Scale;
 
-/// Generates the gramschmidt trace. `params = [dim_i, dim_j, threads]`.
-pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+/// Streams the gramschmidt trace into `sink`. `params = [dim_i, dim_j, threads]`.
+pub fn generate_into<S: ThreadedTraceSink + ?Sized>(params: &[f64], scale: Scale, sink: &mut S) {
     let ni = scale.dim(params[0], caps::MIN_DIM, caps::CUBIC);
     let nj = scale.dim(params[1], caps::MIN_DIM, caps::CUBIC);
     let threads = scale.threads(params[2]);
@@ -21,9 +21,9 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
     let q = array_base(1);
     let r = array_base(2);
 
-    let mut trace = MultiTrace::new(threads);
+    sink.begin(threads);
     for t in 0..threads {
-        let mut e = Emitter::new(trace.thread_sink(t));
+        let mut e = Emitter::new(sink.thread(t));
         for k in 0..nj {
             // Column norm: walks A[:, k] with stride nj (owner thread).
             if chunk(nj, threads, t).contains(&k) {
@@ -67,12 +67,17 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
             }
         }
     }
-    trace
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn generate(params: &[f64], scale: Scale) -> napel_ir::MultiTrace {
+        let mut trace = napel_ir::MultiTrace::default();
+        generate_into(params, scale, &mut trace);
+        trace
+    }
     use napel_ir::Opcode;
 
     #[test]

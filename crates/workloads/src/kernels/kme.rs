@@ -8,7 +8,7 @@
 //! never-reused point stream — a working set of megabytes that dwarfs the
 //! host cache hierarchy, which is what makes kme NMC-suitable in Figure 7.
 
-use napel_ir::{Emitter, MultiTrace, Reg};
+use napel_ir::{Emitter, Reg, ThreadedTraceSink};
 
 use crate::kernels::chunk;
 use crate::kernels::layout::{array_base, mat, vec};
@@ -20,9 +20,9 @@ const FEATURES: u64 = 8;
 /// Points per register block.
 const BLOCK: u64 = 64;
 
-/// Generates the kmeans trace.
+/// Streams the kmeans trace into `sink`.
 /// `params = [data_size, clusters, threads, iterations]`.
-pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+pub fn generate_into<S: ThreadedTraceSink + ?Sized>(params: &[f64], scale: Scale, sink: &mut S) {
     let points = scale.data_large(params[0], 64, 1 << 24);
     let clusters = (params[1].max(1.0) as u64).min(64);
     let threads = scale.threads(params[2]);
@@ -33,9 +33,9 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
     let assign = array_base(2); // points
     let accum = array_base(3); // clusters x FEATURES partial sums
 
-    let mut trace = MultiTrace::new(threads);
+    sink.begin(threads);
     for t in 0..threads {
-        let mut e = Emitter::new(trace.thread_sink(t));
+        let mut e = Emitter::new(sink.thread(t));
         for _ in 0..iterations {
             let my = chunk(points, threads, t);
             let mut block_start = my.start;
@@ -83,12 +83,17 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
             }
         }
     }
-    trace
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn generate(params: &[f64], scale: Scale) -> napel_ir::MultiTrace {
+        let mut trace = napel_ir::MultiTrace::default();
+        generate_into(params, scale, &mut trace);
+        trace
+    }
 
     #[test]
     fn work_scales_with_points_and_clusters() {

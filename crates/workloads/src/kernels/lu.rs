@@ -5,22 +5,22 @@
 //! cache-exploitable traffic that keeps lu on the host-friendly side of
 //! Figure 7 (in contrast to the column-walking Cholesky formulation).
 
-use napel_ir::{Emitter, MultiTrace};
+use napel_ir::{Emitter, ThreadedTraceSink};
 
 use crate::kernels::layout::{array_base, mat};
 use crate::kernels::{caps, chunk};
 use crate::Scale;
 
-/// Generates the lu trace. `params = [dimensions, threads, iterations]`.
-pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+/// Streams the lu trace into `sink`. `params = [dimensions, threads, iterations]`.
+pub fn generate_into<S: ThreadedTraceSink + ?Sized>(params: &[f64], scale: Scale, sink: &mut S) {
     let n = scale.dim(params[0], caps::MIN_DIM, caps::CUBIC);
     let threads = scale.threads(params[1]);
     let iterations = scale.iters(params[2]);
     let a = array_base(0);
 
-    let mut trace = MultiTrace::new(threads);
+    sink.begin(threads);
     for t in 0..threads {
-        let mut e = Emitter::new(trace.thread_sink(t));
+        let mut e = Emitter::new(sink.thread(t));
         for _ in 0..iterations {
             for k in 0..n {
                 // Row elimination, rows chunked over threads.
@@ -45,12 +45,17 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
             }
         }
     }
-    trace
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn generate(params: &[f64], scale: Scale) -> napel_ir::MultiTrace {
+        let mut trace = napel_ir::MultiTrace::default();
+        generate_into(params, scale, &mut trace);
+        trace
+    }
     use napel_ir::Opcode;
 
     #[test]

@@ -31,25 +31,37 @@ pub mod mvt;
 pub mod syrk;
 pub mod trmm;
 
-use napel_ir::MultiTrace;
+use napel_ir::{MultiTrace, ThreadedTraceSink};
 
 use crate::{Scale, Workload};
 
 /// Dispatches generation to the kernel module.
 pub(crate) fn generate(w: Workload, params: &[f64], scale: Scale) -> MultiTrace {
+    let mut trace = MultiTrace::default();
+    generate_into(w, params, scale, &mut trace);
+    trace
+}
+
+/// Dispatches streaming generation to the kernel module.
+pub(crate) fn generate_into<S: ThreadedTraceSink + ?Sized>(
+    w: Workload,
+    params: &[f64],
+    scale: Scale,
+    sink: &mut S,
+) {
     match w {
-        Workload::Atax => atax::generate(params, scale),
-        Workload::Bfs => bfs::generate(params, scale),
-        Workload::Bp => bp::generate(params, scale),
-        Workload::Chol => chol::generate(params, scale),
-        Workload::Gemv => gemv::generate(params, scale),
-        Workload::Gesu => gesu::generate(params, scale),
-        Workload::Gram => gram::generate(params, scale),
-        Workload::Kme => kme::generate(params, scale),
-        Workload::Lu => lu::generate(params, scale),
-        Workload::Mvt => mvt::generate(params, scale),
-        Workload::Syrk => syrk::generate(params, scale),
-        Workload::Trmm => trmm::generate(params, scale),
+        Workload::Atax => atax::generate_into(params, scale, sink),
+        Workload::Bfs => bfs::generate_into(params, scale, sink),
+        Workload::Bp => bp::generate_into(params, scale, sink),
+        Workload::Chol => chol::generate_into(params, scale, sink),
+        Workload::Gemv => gemv::generate_into(params, scale, sink),
+        Workload::Gesu => gesu::generate_into(params, scale, sink),
+        Workload::Gram => gram::generate_into(params, scale, sink),
+        Workload::Kme => kme::generate_into(params, scale, sink),
+        Workload::Lu => lu::generate_into(params, scale, sink),
+        Workload::Mvt => mvt::generate_into(params, scale, sink),
+        Workload::Syrk => syrk::generate_into(params, scale, sink),
+        Workload::Trmm => trmm::generate_into(params, scale, sink),
     }
 }
 

@@ -4,14 +4,14 @@
 //! two rows of `A`, so row reuse is extremely high — the data-locality-rich
 //! profile that keeps syrk host-friendly in Figure 7.
 
-use napel_ir::{Emitter, MultiTrace};
+use napel_ir::{Emitter, ThreadedTraceSink};
 
 use crate::kernels::layout::{array_base, mat};
 use crate::kernels::{caps, chunk};
 use crate::Scale;
 
-/// Generates the syrk trace. `params = [dim_i, dim_j, threads]`.
-pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
+/// Streams the syrk trace into `sink`. `params = [dim_i, dim_j, threads]`.
+pub fn generate_into<S: ThreadedTraceSink + ?Sized>(params: &[f64], scale: Scale, sink: &mut S) {
     let ni = scale.dim(params[0], caps::MIN_DIM, caps::CUBIC);
     let nj = scale.dim(params[1], caps::MIN_DIM, caps::CUBIC);
     let threads = scale.threads(params[2]);
@@ -19,9 +19,9 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
     let a = array_base(0); // ni x nj
     let c = array_base(1); // ni x ni
 
-    let mut trace = MultiTrace::new(threads);
+    sink.begin(threads);
     for t in 0..threads {
-        let mut e = Emitter::new(trace.thread_sink(t));
+        let mut e = Emitter::new(sink.thread(t));
         for i in chunk(ni, threads, t) {
             for j in 0..=i {
                 let mut acc = e.load(0, mat(c, ni, i, j), 8);
@@ -36,12 +36,17 @@ pub fn generate(params: &[f64], scale: Scale) -> MultiTrace {
             }
         }
     }
-    trace
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn generate(params: &[f64], scale: Scale) -> napel_ir::MultiTrace {
+        let mut trace = napel_ir::MultiTrace::default();
+        generate_into(params, scale, &mut trace);
+        trace
+    }
     use napel_ir::Opcode;
 
     #[test]

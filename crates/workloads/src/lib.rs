@@ -41,7 +41,7 @@ mod spec;
 pub use scale::Scale;
 pub use spec::{ParamInfo, WorkloadSpec};
 
-use napel_ir::MultiTrace;
+use napel_ir::{MultiTrace, ThreadedTraceSink};
 
 // Campaign workers generate traces concurrently; workload descriptors and
 // the traces they produce must stay shareable across threads.
@@ -134,6 +134,35 @@ impl Workload {
     ///
     /// Panics if `params.len()` differs from the spec's parameter count.
     pub fn generate(self, params: &[f64], scale: Scale) -> MultiTrace {
+        self.check_arity(params);
+        kernels::generate(self, params, scale)
+    }
+
+    /// Executes the kernel, streaming its dynamic trace into `sink`
+    /// instead of materializing a [`MultiTrace`] — the single-pass entry
+    /// point for profiling, compact encoding, or any
+    /// [`ThreadedTraceSink`] combination (e.g. a
+    /// [`TeeSink`](napel_ir::TeeSink) feeding both at once).
+    ///
+    /// The sink sees `begin(threads)` first, then every instruction
+    /// thread-major: thread 0's full stream, then thread 1's, and so on —
+    /// the same per-thread order the PISA profiler analyzes, so streaming
+    /// observation is bit-identical to profiling the collected trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the spec's parameter count.
+    pub fn generate_into<S: ThreadedTraceSink + ?Sized>(
+        self,
+        params: &[f64],
+        scale: Scale,
+        sink: &mut S,
+    ) {
+        self.check_arity(params);
+        kernels::generate_into(self, params, scale, sink);
+    }
+
+    fn check_arity(self, params: &[f64]) {
         let spec = self.spec();
         assert_eq!(
             params.len(),
@@ -142,7 +171,6 @@ impl Workload {
             self.name(),
             spec.params.len()
         );
-        kernels::generate(self, params, scale)
     }
 
     /// Generates the paper's *test* configuration (last column of Table 2).
@@ -210,6 +238,24 @@ mod tests {
     #[should_panic(expected = "takes 2 parameters")]
     fn wrong_arity_panics() {
         let _ = Workload::Atax.generate(&[1.0], Scale::tiny());
+    }
+
+    #[test]
+    fn streaming_generation_matches_materialized() {
+        // `generate` is a thin wrapper over `generate_into`; feeding a
+        // fresh MultiTrace sink by hand must reproduce it exactly, and
+        // the compact encoding must round-trip it, for every kernel.
+        for w in Workload::ALL {
+            let p = w.spec().central_values();
+            let materialized = w.generate(&p, Scale::tiny());
+            let mut streamed = MultiTrace::default();
+            w.generate_into(&p, Scale::tiny(), &mut streamed);
+            assert_eq!(streamed, materialized, "{w}");
+
+            let mut enc = napel_ir::EncodedTraceSink::new();
+            w.generate_into(&p, Scale::tiny(), &mut enc);
+            assert_eq!(enc.finish().decode(), materialized, "{w} encoded");
+        }
     }
 
     #[test]

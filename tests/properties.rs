@@ -214,6 +214,49 @@ proptest! {
     }
 
     #[test]
+    fn mutated_telemetry_jsonl_parses_or_errors_without_panicking(
+        counter_values in prop::collection::vec(any::<u64>(), 1..4),
+        attr_bytes in prop::collection::vec(any::<u8>(), 0..16),
+        cut in any::<u16>(),
+        splice_at in any::<u16>(),
+        splice in prop::collection::vec(any::<u8>(), 0..8),
+    ) {
+        use napel::telemetry::{Telemetry, TelemetryReport};
+
+        // A genuine round-trip document, with a span attribute carrying
+        // arbitrary (lossily-decoded) bytes through string escaping.
+        let t = Telemetry::enabled();
+        {
+            let payload = String::from_utf8_lossy(&attr_bytes).into_owned();
+            let _span = t.span("prop.span").attr("payload", payload);
+            let _inner = t.span("prop.inner");
+        }
+        for (i, v) in counter_values.iter().enumerate() {
+            t.counter(&format!("prop.counter.{i}"), *v);
+        }
+        t.observe("prop.hist", &[0.5, 1.5], 1.0);
+        let report = t.drain();
+        let text = report.to_jsonl();
+        prop_assert_eq!(
+            TelemetryReport::from_jsonl(&text).expect("round trip"),
+            report
+        );
+
+        // Rows truncated mid-write must produce a parse error (or, if the
+        // cut lands on a line boundary, a shorter report) — never a panic.
+        let cut = (cut as usize) % (text.len() + 1);
+        let truncated = String::from_utf8_lossy(&text.as_bytes()[..cut]).into_owned();
+        let _ = TelemetryReport::from_jsonl(&truncated);
+
+        // Arbitrary bytes spliced into the middle of a row likewise.
+        let at = (splice_at as usize) % (text.len() + 1);
+        let mut bytes = text.into_bytes();
+        bytes.splice(at..at, splice.iter().copied());
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = TelemetryReport::from_jsonl(&mutated);
+    }
+
+    #[test]
     fn forest_prediction_stays_within_label_range(seed in 0u64..1000) {
         use napel::ml::dataset::Dataset;
         use napel::ml::forest::RandomForestParams;
