@@ -11,7 +11,8 @@ fn main() {
     let exec = opts.executor();
 
     napel_telemetry::info!("running sampler ablation ({:?})...", opts.scale);
-    let samplers = ablation::sampler_ablation_with(&Workload::ALL, opts.scale, opts.seed, &exec)
+    let io = opts.model_io();
+    let samplers = ablation::sampler_ablation_io(&Workload::ALL, opts.scale, opts.seed, &io, &exec)
         .expect("sampler ablation");
 
     napel_telemetry::info!("running forest-size sweep...");
@@ -21,14 +22,15 @@ fn main() {
         opts.scale,
         opts.seed,
     );
-    let sweep = ablation::forest_size_sweep_with(&set, &[10, 30, 60, 120, 240], opts.seed, &exec)
-        .expect("forest sweep");
+    let sweep =
+        ablation::forest_size_sweep_io(&set, &[10, 30, 60, 120, 240], opts.seed, &io, &exec)
+            .expect("forest sweep");
 
     println!("Ablations: training-point sampler and forest size\n");
     print!("{}", ablation::render(&samplers, &sweep));
 
     napel_telemetry::info!("running feature-screening ablation...");
-    let screening = ablation::screening_ablation_with(&set, &[10, 30, 100], opts.seed, &exec)
+    let screening = ablation::screening_ablation_io(&set, &[10, 30, 100], opts.seed, &io, &exec)
         .expect("screening");
     println!("\nFeature screening (top-k by permutation importance):");
     for p in &screening {

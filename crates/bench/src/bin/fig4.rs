@@ -14,7 +14,14 @@ fn main() {
             .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
     announce_report(&report);
     napel_telemetry::info!("timing {} configurations per application...", opts.configs);
-    let rows = fig4::run_with(&ctx, &opts.napel_config(), opts.configs, &exec).expect("fig 4 run");
+    let rows = fig4::run_with_io(
+        &ctx,
+        &opts.napel_config(),
+        opts.configs,
+        &opts.model_io(),
+        &exec,
+    )
+    .expect("fig 4 run");
     println!("Figure 4: prediction speedup over the simulator (increasing order)\n");
     print!("{}", fig4::render(&rows));
     opts.finish_telemetry();

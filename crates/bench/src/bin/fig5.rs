@@ -14,7 +14,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
     announce_report(&report);
     napel_telemetry::info!("running leave-one-application-out comparisons...");
-    let result = fig5::run_with(&ctx, &exec).expect("fig 5 run");
+    let result = fig5::run_with_io(&ctx, &opts.model_io(), &exec).expect("fig 5 run");
     println!("Figure 5: mean relative error, performance (a) and energy (b)\n");
     print!("{}", fig5::render(&result));
     opts.finish_telemetry();

@@ -14,7 +14,8 @@ fn main() {
             .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
     announce_report(&report);
     napel_telemetry::info!("running the NMC-suitability analysis...");
-    let result = fig7::run_with(&ctx, &opts.napel_config(), &exec).expect("fig 7 run");
+    let result =
+        fig7::run_with_io(&ctx, &opts.napel_config(), &opts.model_io(), &exec).expect("fig 7 run");
     println!("Figure 7: EDP reduction of NMC offloading vs host execution\n");
     print!("{}", fig7::render(&result));
     opts.finish_telemetry();

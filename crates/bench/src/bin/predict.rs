@@ -1,0 +1,113 @@
+//! Inference-only entry point: feature rows in, predictions out — no
+//! simulator, no training. This is phase ⑤ decoupled from the rest of the
+//! pipeline: point `--model-in` at a `.napel` bundle saved by any of the
+//! training drivers (`fig4 --model-out models` produces
+//! `models/fig4-<workload>.napel`) and score rows against it.
+//!
+//! Input modes:
+//!
+//! - `--workload NAME`: profile the workload's test input once, then
+//!   cross it with `--configs` architecture configurations sampled from
+//!   the Table 1 ranges (`--seed`) — the design-space-exploration loop of
+//!   Figure 4, running purely on the stored model.
+//! - `--input PATH`: raw combined feature rows, one per line,
+//!   whitespace- or comma-separated, `#` comments ignored. Row layout
+//!   must match the model's schema (see `--print-schema`).
+//!
+//! Output: one line per row with predicted IPC, energy/instruction, and
+//! the derived time/energy/EDP for `--instructions` offloaded
+//! instructions, plus the forest's geometric per-tree spread (one
+//! geometric standard deviation; the band is `[IPC/σ, IPC·σ]`).
+
+use napel_bench::Options;
+use napel_core::experiments::fig4::sample_arch_configs;
+use napel_core::features::combined_features;
+use napel_core::model::TrainedNapel;
+use napel_pisa::ApplicationProfile;
+use napel_workloads::Workload;
+
+/// Parses raw feature rows: whitespace- or comma-separated floats, one
+/// row per line, `#` starts a comment.
+fn parse_rows(text: &str) -> Vec<Vec<f64>> {
+    text.lines()
+        .map(|line| line.split('#').next().unwrap_or(""))
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            line.split(|c: char| c == ',' || c.is_whitespace())
+                .filter(|tok| !tok.is_empty())
+                .map(|tok| {
+                    tok.parse()
+                        .unwrap_or_else(|_| panic!("`{tok}` is not a number"))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = Options::from_env();
+    opts.init_telemetry();
+
+    let path = opts
+        .model_in
+        .clone()
+        .expect("predict needs --model-in <bundle.napel>");
+    let model = TrainedNapel::load(&path).unwrap_or_else(|e| panic!("{e}"));
+    let prov = model.provenance();
+    napel_telemetry::info!(
+        "loaded {path}: {} features, trained on {} rows of [{}] (seed {}, hash {:016x})",
+        model.feature_names().len(),
+        prov.training_rows,
+        prov.workloads.join(" "),
+        prov.seed,
+        prov.training_hash
+    );
+
+    let rows: Vec<Vec<f64>> = if let Some(input) = &opts.input {
+        let text = std::fs::read_to_string(input)
+            .unwrap_or_else(|e| panic!("cannot read --input `{input}`: {e}"));
+        parse_rows(&text)
+    } else if let Some(name) = &opts.workload {
+        let workload = Workload::ALL
+            .into_iter()
+            .find(|w| w.name() == name)
+            .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+        napel_telemetry::info!(
+            "profiling {name} at its test input, {} sampled architectures...",
+            opts.configs
+        );
+        let trace = workload.generate_test(opts.scale);
+        let profile = ApplicationProfile::of(&trace);
+        sample_arch_configs(opts.configs, opts.seed)
+            .iter()
+            .map(|arch| combined_features(&profile, arch))
+            .collect()
+    } else {
+        panic!("predict needs --input FILE or --workload NAME");
+    };
+
+    let predictions = model.predict_batch(&rows).unwrap_or_else(|e| panic!("{e}"));
+
+    println!(
+        "Predictions for {} rows ({} offloaded instructions):\n",
+        predictions.len(),
+        opts.instructions
+    );
+    println!(
+        "{:>4}  {:>8}  {:>10}  {:>11}  {:>11}  {:>11}  {:>6}",
+        "row", "IPC", "pJ/inst", "time (s)", "energy (J)", "EDP (J*s)", "geo-sd"
+    );
+    for (i, (pred, spread)) in predictions.iter().enumerate() {
+        println!(
+            "{:>4}  {:>8.4}  {:>10.2}  {:>11.4e}  {:>11.4e}  {:>11.4e}  {:>6.3}",
+            i,
+            pred.ipc,
+            pred.energy_per_inst_pj,
+            pred.exec_time_seconds(opts.instructions),
+            pred.energy_joules(opts.instructions),
+            pred.edp(opts.instructions),
+            spread
+        );
+    }
+    opts.finish_telemetry();
+}

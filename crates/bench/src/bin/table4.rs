@@ -15,7 +15,8 @@ fn main() {
             .unwrap_or_else(|e| panic!("collection campaign failed: {e}"));
     announce_report(&report);
     napel_telemetry::info!("running per-application timings...");
-    let rows = table4::run_with(&ctx, &opts.napel_config(), &exec).expect("table 4 run");
+    let rows = table4::run_with_io(&ctx, &opts.napel_config(), &opts.model_io(), &exec)
+        .expect("table 4 run");
     println!("Table 4: DoE configurations and training/prediction time\n");
     print!("{}", table4::render(&rows));
     opts.finish_telemetry();

@@ -21,9 +21,23 @@
 //!   to telemetry off),
 //! - `--quiet` — suppress informational stderr output (progress lines,
 //!   campaign notices, the telemetry summary); errors still print.
+//! - `--model-out DIR` — save every trained model as a `.napel` artifact
+//!   bundle under `DIR` (default: the `NAPEL_MODEL_DIR` environment
+//!   variable, falling back to no saving),
+//! - `--model-in DIR|FILE` — load models from stored artifacts instead of
+//!   training (the train-once/predict-many path; takes precedence over
+//!   `--model-out`),
+//! - `--input PATH` — for `predict`: file of raw feature rows to score,
+//! - `--workload NAME` — for `predict`: profile this workload's test
+//!   input instead of reading `--input`,
+//! - `--instructions N` — for `predict`: offloaded instruction count for
+//!   the time/energy/EDP columns (default 1,000,000).
 //!
 //! Run them as `cargo run --release -p napel-bench --bin fig5 -- --quick`.
 
+use std::path::PathBuf;
+
+use napel_core::artifact::ModelIo;
 use napel_core::campaign::AnyExecutor;
 use napel_core::fault::{CampaignOptions, CampaignReport, FaultPolicy};
 use napel_core::model::NapelConfig;
@@ -56,6 +70,18 @@ pub struct Options {
     pub telemetry_out: Option<String>,
     /// Suppress informational stderr output (`--quiet`).
     pub quiet: bool,
+    /// Artifact save directory (`--model-out`); `None` defers to
+    /// `NAPEL_MODEL_DIR`.
+    pub model_out: Option<String>,
+    /// Artifact load directory or bundle file (`--model-in`).
+    pub model_in: Option<String>,
+    /// Raw feature-row input file for the `predict` binary (`--input`).
+    pub input: Option<String>,
+    /// Workload name for the `predict` binary (`--workload`).
+    pub workload: Option<String>,
+    /// Offloaded instruction count for derived time/energy/EDP
+    /// (`--instructions`).
+    pub instructions: u64,
 }
 
 impl Default for Options {
@@ -71,6 +97,11 @@ impl Default for Options {
             retries: None,
             telemetry_out: None,
             quiet: false,
+            model_out: None,
+            model_in: None,
+            input: None,
+            workload: None,
+            instructions: 1_000_000,
         }
     }
 }
@@ -136,6 +167,25 @@ impl Options {
                     opts.telemetry_out = Some(args.next().expect("--telemetry-out needs a path"));
                 }
                 "--quiet" => opts.quiet = true,
+                "--model-out" => {
+                    opts.model_out = Some(args.next().expect("--model-out needs a directory"));
+                }
+                "--model-in" => {
+                    opts.model_in = Some(args.next().expect("--model-in needs a path"));
+                }
+                "--input" => {
+                    opts.input = Some(args.next().expect("--input needs a path"));
+                }
+                "--workload" => {
+                    opts.workload = Some(args.next().expect("--workload needs a name"));
+                }
+                "--instructions" => {
+                    opts.instructions = args
+                        .next()
+                        .expect("--instructions needs a value")
+                        .parse()
+                        .expect("--instructions must be an integer");
+                }
                 other => panic!("unknown flag `{other}`"),
             }
         }
@@ -220,6 +270,20 @@ impl Options {
         if napel_telemetry::log::enabled(napel_telemetry::log::Level::Info) {
             eprintln!("{}", report.summary());
         }
+    }
+
+    /// The artifact policy implied by the options: `--model-in` sets the
+    /// load directory (evaluation skips training); `--model-out` — or,
+    /// failing that, the `NAPEL_MODEL_DIR` environment variable — sets
+    /// the save directory for freshly trained models.
+    pub fn model_io(&self) -> ModelIo {
+        let save = self
+            .model_out
+            .clone()
+            .map(PathBuf::from)
+            .or_else(|| std::env::var_os("NAPEL_MODEL_DIR").map(PathBuf::from));
+        let load = self.model_in.clone().map(PathBuf::from);
+        ModelIo::new(save, load)
     }
 
     /// The NAPEL training configuration implied by the options.
@@ -324,6 +388,35 @@ mod tests {
     #[should_panic(expected = "fault policy")]
     fn bad_fail_policy_panics() {
         let _ = parse(&["--fail-policy", "maybe"]);
+    }
+
+    #[test]
+    fn model_flags_build_the_io_policy() {
+        let o = parse(&["--model-out", "/tmp/models", "--model-in", "/tmp/stored"]);
+        let io = o.model_io();
+        assert_eq!(io.save_dir(), Some(std::path::Path::new("/tmp/models")));
+        assert_eq!(io.load_dir(), Some(std::path::Path::new("/tmp/stored")));
+
+        let o = parse(&[]);
+        if std::env::var_os("NAPEL_MODEL_DIR").is_none() {
+            assert!(o.model_io().is_none());
+        }
+    }
+
+    #[test]
+    fn predict_flags_parse() {
+        let o = parse(&[
+            "--input",
+            "rows.txt",
+            "--workload",
+            "atax",
+            "--instructions",
+            "5000000",
+        ]);
+        assert_eq!(o.input.as_deref(), Some("rows.txt"));
+        assert_eq!(o.workload.as_deref(), Some("atax"));
+        assert_eq!(o.instructions, 5_000_000);
+        assert_eq!(Options::default().instructions, 1_000_000);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use napel_ml::metrics::mean_relative_error;
+use napel_ml::persist::Predictor;
 use napel_ml::{Estimator, Regressor};
 use napel_pisa::ApplicationProfile;
 use napel_workloads::{Scale, Workload};
@@ -12,6 +13,7 @@ use nmc_sim::{ArchConfig, NmcSystem};
 
 use napel_hostmodel::HostModel;
 
+use crate::artifact::{self, ModelArtifact, ModelIo, Provenance, TargetKind};
 use crate::campaign::{catch_job_panic, AnyExecutor, Executor};
 use crate::fault::{JobFailure, JobFailureKind};
 use crate::features::TrainingSet;
@@ -51,11 +53,15 @@ pub struct LoaoResult {
 ///
 /// Returns [`NapelError`] if the set holds fewer than two applications or
 /// an estimator fails to fit.
-pub fn loao_accuracy<E: Estimator + Sync>(
+pub fn loao_accuracy<E>(
     estimator: &E,
     set: &TrainingSet,
     seed: u64,
-) -> Result<Vec<LoaoResult>, NapelError> {
+) -> Result<Vec<LoaoResult>, NapelError>
+where
+    E: Estimator + Sync,
+    E::Model: Predictor + Send + Sync + 'static,
+{
     loao_accuracy_with(estimator, set, seed, &AnyExecutor::from_env())
 }
 
@@ -68,12 +74,111 @@ pub fn loao_accuracy<E: Estimator + Sync>(
 ///
 /// Returns [`NapelError`] if the set holds fewer than two applications or
 /// an estimator fails to fit.
-pub fn loao_accuracy_with<E: Estimator + Sync, X: Executor>(
+pub fn loao_accuracy_with<E, X>(
     estimator: &E,
     set: &TrainingSet,
     seed: u64,
     exec: &X,
-) -> Result<Vec<LoaoResult>, NapelError> {
+) -> Result<Vec<LoaoResult>, NapelError>
+where
+    E: Estimator + Sync,
+    E::Model: Predictor + Send + Sync + 'static,
+    X: Executor,
+{
+    loao_accuracy_io(estimator, set, seed, &ModelIo::none(), "loao", exec)
+}
+
+/// A fold's pair of decoded predictors: IPC first, energy second.
+type FoldModels = (
+    Box<dyn Predictor + Send + Sync>,
+    Box<dyn Predictor + Send + Sync>,
+);
+
+/// Loads a two-artifact fold bundle and validates it against `set`'s
+/// schema, returning the IPC and energy predictors.
+fn load_fold_models(path: &std::path::Path, set: &TrainingSet) -> Result<FoldModels, NapelError> {
+    let artifacts = artifact::read_artifacts(path)?;
+    if artifacts.len() != 2 {
+        return Err(NapelError::Artifact {
+            path: path.display().to_string(),
+            what: format!(
+                "bundle holds {} artifacts, expected ipc + energy_per_inst",
+                artifacts.len()
+            ),
+        });
+    }
+    artifacts[0].expect_schema(TargetKind::Ipc, &set.feature_names)?;
+    artifacts[1].expect_schema(TargetKind::EnergyPerInst, &set.feature_names)?;
+    Ok((artifacts[0].predictor()?, artifacts[1].predictor()?))
+}
+
+/// Saves a fold's fitted models as a two-artifact bundle under `dir`.
+fn save_fold_models(
+    dir: &std::path::Path,
+    key: &str,
+    seed: u64,
+    describe: String,
+    train: &TrainingSet,
+    schema: &[String],
+    models: (&dyn Predictor, &dyn Predictor),
+) -> Result<(), NapelError> {
+    let (perf_model, energy_model) = models;
+    std::fs::create_dir_all(dir).map_err(|e| NapelError::Artifact {
+        path: dir.display().to_string(),
+        what: format!("create failed: {e}"),
+    })?;
+    let provenance = Provenance {
+        seed,
+        grid: vec![describe],
+        workloads: train
+            .workloads()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect(),
+        training_rows: train.runs.len(),
+        training_hash: train.content_hash(),
+    };
+    let perf = ModelArtifact::from_predictor(
+        TargetKind::Ipc,
+        schema.to_vec(),
+        provenance.clone(),
+        None,
+        perf_model,
+    )?;
+    let energy = ModelArtifact::from_predictor(
+        TargetKind::EnergyPerInst,
+        schema.to_vec(),
+        provenance,
+        None,
+        energy_model,
+    )?;
+    artifact::write_artifacts(&ModelIo::bundle_path(dir, key), &[&perf, &energy])?;
+    Ok(())
+}
+
+/// [`loao_accuracy_with`] threaded through an artifact policy: with a save
+/// directory, each fold's fitted models are persisted as
+/// `<dir>/<key_prefix>-<workload>.napel`; with a load directory, folds
+/// skip training entirely and evaluate the stored models (which reproduce
+/// the direct path's MREs bit for bit, same seed).
+///
+/// # Errors
+///
+/// As [`loao_accuracy_with`], plus [`NapelError::Artifact`] for
+/// save/load failures or schema mismatches.
+pub fn loao_accuracy_io<E, X>(
+    estimator: &E,
+    set: &TrainingSet,
+    seed: u64,
+    io: &ModelIo,
+    key_prefix: &str,
+    exec: &X,
+) -> Result<Vec<LoaoResult>, NapelError>
+where
+    E: Estimator + Sync,
+    E::Model: Predictor + Send + Sync + 'static,
+    X: Executor,
+{
     let workloads = set.workloads();
     if workloads.len() < 2 {
         return Err(NapelError::BadTrainingSet {
@@ -84,12 +189,31 @@ pub fn loao_accuracy_with<E: Estimator + Sync, X: Executor>(
         // A panicking fit in one fold is isolated and surfaced as an
         // error naming the fold, not a process abort.
         catch_job_panic(|| {
-            let train = set.filtered(|w| w != held_out);
+            let key = format!("{key_prefix}-{}", held_out.name());
             let test = set.filtered(|w| w == held_out);
-            let mut rng = StdRng::seed_from_u64(seed);
-
-            let perf_model = estimator.fit(&train.ipc_dataset()?, &mut rng)?;
-            let energy_model = estimator.fit(&train.energy_dataset()?, &mut rng)?;
+            let (perf_model, energy_model): (
+                Box<dyn Predictor + Send + Sync>,
+                Box<dyn Predictor + Send + Sync>,
+            ) = if let Some(dir) = io.load_dir() {
+                load_fold_models(&ModelIo::bundle_path(dir, &key), set)?
+            } else {
+                let train = set.filtered(|w| w != held_out);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let perf_model = estimator.fit(&train.ipc_dataset()?, &mut rng)?;
+                let energy_model = estimator.fit(&train.energy_dataset()?, &mut rng)?;
+                if let Some(dir) = io.save_dir() {
+                    save_fold_models(
+                        dir,
+                        &key,
+                        seed,
+                        estimator.describe(),
+                        &train,
+                        &set.feature_names,
+                        (&perf_model, &energy_model),
+                    )?;
+                }
+                (Box::new(perf_model), Box::new(energy_model))
+            };
 
             let perf_pred: Vec<f64> = test
                 .runs
@@ -201,11 +325,45 @@ pub fn nmc_suitability_with<X: Executor>(
     scale: Scale,
     exec: &X,
 ) -> Result<Vec<SuitabilityRow>, NapelError> {
+    nmc_suitability_io(
+        set,
+        config,
+        arch,
+        scale,
+        &ModelIo::none(),
+        "suitability",
+        exec,
+    )
+}
+
+/// [`nmc_suitability_with`] threaded through an artifact policy: each
+/// held-out application's trained NAPEL instance is saved as (or loaded
+/// from) `<dir>/<key_prefix>-<workload>.napel`. With a load directory the
+/// training step is skipped and the predicted columns reproduce the
+/// direct path bit for bit (host/simulator columns are recomputed either
+/// way).
+///
+/// # Errors
+///
+/// As [`nmc_suitability_with`], plus [`NapelError::Artifact`] for
+/// save/load failures or schema mismatches.
+pub fn nmc_suitability_io<X: Executor>(
+    set: &TrainingSet,
+    config: &NapelConfig,
+    arch: &ArchConfig,
+    scale: Scale,
+    io: &ModelIo,
+    key_prefix: &str,
+    exec: &X,
+) -> Result<Vec<SuitabilityRow>, NapelError> {
     let host = HostModel::power9(scale);
     let rows = exec.map(&set.workloads(), |i, &held_out| {
         catch_job_panic(|| {
-            let train = set.filtered(|w| w != held_out);
-            let trained = Napel::new(config.clone()).train(&train)?;
+            let key = format!("{key_prefix}-{}", held_out.name());
+            let trained = io.train_or_load(&key, || {
+                let train = set.filtered(|w| w != held_out);
+                Napel::new(config.clone()).train(&train)
+            })?;
 
             let trace = held_out.generate_test(scale);
             let profile = ApplicationProfile::of(&trace);
@@ -294,6 +452,54 @@ mod tests {
         let (p, e) = average_mre(&results);
         assert!((p - 0.2).abs() < 1e-12);
         assert!((e - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loao_artifact_path_reproduces_direct_path_exactly() {
+        use crate::campaign::Serial;
+        let set = small_set();
+        let est = RandomForestParams::default();
+        let direct = loao_accuracy_with(&est, &set, 7, &Serial).unwrap();
+
+        let dir = std::env::temp_dir().join("napel-loao-io-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let save = ModelIo::new(Some(dir.clone()), None);
+        let saved = loao_accuracy_io(&est, &set, 7, &save, "loao", &Serial).unwrap();
+        assert_eq!(direct, saved, "saving must not perturb the evaluation");
+
+        let load = ModelIo::new(None, Some(dir.clone()));
+        let loaded = loao_accuracy_io(&est, &set, 7, &load, "loao", &Serial).unwrap();
+        assert_eq!(
+            direct, loaded,
+            "loaded artifacts must reproduce MREs bit for bit"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suitability_from_artifacts_matches_direct() {
+        use crate::campaign::Serial;
+        let set = small_set();
+        let config = NapelConfig::untuned();
+        let arch = ArchConfig::paper_default();
+        let direct = nmc_suitability_with(&set, &config, &arch, Scale::tiny(), &Serial).unwrap();
+
+        let dir = std::env::temp_dir().join("napel-suit-io-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let save = ModelIo::new(Some(dir.clone()), None);
+        let saved = nmc_suitability_io(&set, &config, &arch, Scale::tiny(), &save, "fig7", &Serial)
+            .unwrap();
+        assert_eq!(direct, saved);
+
+        let load = ModelIo::new(None, Some(dir.clone()));
+        let loaded =
+            nmc_suitability_io(&set, &config, &arch, Scale::tiny(), &load, "fig7", &Serial)
+                .unwrap();
+        assert_eq!(
+            direct, loaded,
+            "every column, including predictions, matches"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

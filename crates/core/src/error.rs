@@ -38,6 +38,16 @@ pub enum NapelError {
         /// What was inconsistent.
         what: String,
     },
+    /// A model artifact could not be saved, loaded, or validated —
+    /// including version and feature-schema mismatches between the
+    /// artifact and this build, which must fail loudly rather than
+    /// silently mispredict.
+    Artifact {
+        /// Artifact path (or a description of the source).
+        path: String,
+        /// What went wrong.
+        what: String,
+    },
 }
 
 impl fmt::Display for NapelError {
@@ -51,6 +61,9 @@ impl fmt::Display for NapelError {
                 write!(f, "checkpoint journal `{path}`: {what}")
             }
             NapelError::FeatureSchema { what } => write!(f, "feature schema mismatch: {what}"),
+            NapelError::Artifact { path, what } => {
+                write!(f, "model artifact `{path}`: {what}")
+            }
         }
     }
 }
@@ -63,7 +76,8 @@ impl Error for NapelError {
             NapelError::Job(failure) => Some(failure),
             NapelError::BadTrainingSet { .. }
             | NapelError::Checkpoint { .. }
-            | NapelError::FeatureSchema { .. } => None,
+            | NapelError::FeatureSchema { .. }
+            | NapelError::Artifact { .. } => None,
         }
     }
 }
@@ -125,6 +139,13 @@ mod tests {
             what: "unknown profile feature `x`".into(),
         };
         assert!(e.to_string().contains("`x`"));
+        let e = NapelError::Artifact {
+            path: "models/fig4-atax.napel".into(),
+            what: "artifact was trained on 400 features, this build expects 410".into(),
+        };
+        assert!(e.to_string().contains("models/fig4-atax.napel"));
+        assert!(e.to_string().contains("400 features"));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -28,7 +28,8 @@ use napel_pisa::ApplicationProfile;
 use napel_workloads::{Scale, Workload};
 use nmc_sim::{ArchConfig, NmcSystem};
 
-use crate::analysis::{average_mre, loao_accuracy_with};
+use crate::analysis::{average_mre, loao_accuracy_io};
+use crate::artifact::ModelIo;
 use crate::campaign::{AnyExecutor, Executor};
 use crate::collect::{doe_points, param_space};
 use crate::features::{combined_feature_names, LabeledRun, TrainingSet};
@@ -142,11 +143,30 @@ pub fn sampler_ablation_with<E: Executor>(
     seed: u64,
     exec: &E,
 ) -> Result<SamplerAblation, NapelError> {
+    sampler_ablation_io(workloads, scale, seed, &ModelIo::none(), exec)
+}
+
+/// [`sampler_ablation_with`] threaded through an artifact policy: each
+/// strategy's fold models are saved as (or loaded from)
+/// `<dir>/ablation-sampler-<strategy>-<workload>.napel`.
+///
+/// # Errors
+///
+/// Propagates estimator failures; [`crate::NapelError::Artifact`] on
+/// save/load failures or schema mismatches.
+pub fn sampler_ablation_io<E: Executor>(
+    workloads: &[Workload],
+    scale: Scale,
+    seed: u64,
+    io: &ModelIo,
+    exec: &E,
+) -> Result<SamplerAblation, NapelError> {
     let est = super::fig5::napel_estimator();
     let mut rows = Vec::new();
     for sampler in Sampler::ALL {
         let set = collect_with_sampler(workloads, sampler, scale, seed);
-        let results = loao_accuracy_with(&est, &set, seed, exec)?;
+        let prefix = format!("ablation-sampler-{}", sampler.name());
+        let results = loao_accuracy_io(&est, &set, seed, io, &prefix, exec)?;
         let (p, e) = average_mre(&results);
         rows.push((sampler, p, e));
     }
@@ -185,6 +205,24 @@ pub fn forest_size_sweep_with<E: Executor>(
     seed: u64,
     exec: &E,
 ) -> Result<ForestSweep, NapelError> {
+    forest_size_sweep_io(set, sizes, seed, &ModelIo::none(), exec)
+}
+
+/// [`forest_size_sweep_with`] threaded through an artifact policy: each
+/// sweep point's fold models are saved as (or loaded from)
+/// `<dir>/ablation-forest-<n>-<workload>.napel`.
+///
+/// # Errors
+///
+/// Propagates estimator failures; [`crate::NapelError::Artifact`] on
+/// save/load failures or schema mismatches.
+pub fn forest_size_sweep_io<E: Executor>(
+    set: &TrainingSet,
+    sizes: &[usize],
+    seed: u64,
+    io: &ModelIo,
+    exec: &E,
+) -> Result<ForestSweep, NapelError> {
     let mut points = Vec::new();
     for &n in sizes {
         let est = RandomForestParams {
@@ -195,7 +233,8 @@ pub fn forest_size_sweep_with<E: Executor>(
             },
             bootstrap: true,
         };
-        let results = loao_accuracy_with(&est, set, seed, exec)?;
+        let prefix = format!("ablation-forest-{n}");
+        let results = loao_accuracy_io(&est, set, seed, io, &prefix, exec)?;
         let (p, _) = average_mre(&results);
         points.push((n, p));
     }
@@ -237,6 +276,26 @@ pub fn screening_ablation_with<E: Executor>(
     seed: u64,
     exec: &E,
 ) -> Result<Vec<ScreeningPoint>, NapelError> {
+    screening_ablation_io(set, keep_counts, seed, &ModelIo::none(), exec)
+}
+
+/// [`screening_ablation_with`] threaded through an artifact policy: fold
+/// models are saved as (or loaded from)
+/// `<dir>/ablation-screen-{all,<k>}-<workload>.napel`. Note that the
+/// projected-feature artifacts carry the *projected* schema and validate
+/// against it, not against the full combined schema.
+///
+/// # Errors
+///
+/// Propagates estimator failures; [`crate::NapelError::Artifact`] on
+/// save/load failures or schema mismatches.
+pub fn screening_ablation_io<E: Executor>(
+    set: &TrainingSet,
+    keep_counts: &[usize],
+    seed: u64,
+    io: &ModelIo,
+    exec: &E,
+) -> Result<Vec<ScreeningPoint>, NapelError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let full = set.ipc_dataset()?;
     let est = super::fig5::napel_estimator();
@@ -247,7 +306,7 @@ pub fn screening_ablation_with<E: Executor>(
 
     let mut out = Vec::new();
     // Baseline: all features.
-    let all = loao_accuracy_with(&est, set, seed, exec)?;
+    let all = loao_accuracy_io(&est, set, seed, io, "ablation-screen-all", exec)?;
     out.push(ScreeningPoint {
         kept: usize::MAX,
         perf_mre: average_mre(&all).0,
@@ -262,7 +321,8 @@ pub fn screening_ablation_with<E: Executor>(
         for run in &mut projected.runs {
             run.features = keep.iter().map(|&i| run.features[i]).collect();
         }
-        let results = loao_accuracy_with(&est, &projected, seed, exec)?;
+        let prefix = format!("ablation-screen-{k}");
+        let results = loao_accuracy_io(&est, &projected, seed, io, &prefix, exec)?;
         out.push(ScreeningPoint {
             kept: k,
             perf_mre: average_mre(&results).0,

@@ -24,6 +24,7 @@ use napel_pisa::ApplicationProfile;
 use napel_workloads::Workload;
 use nmc_sim::{ArchConfig, NmcSystem, RowPolicy};
 
+use crate::artifact::ModelIo;
 use crate::campaign::{AnyExecutor, Executor};
 use crate::model::{Napel, NapelConfig};
 use crate::NapelError;
@@ -104,11 +105,33 @@ pub fn run_with<E: Executor>(
     num_configs: usize,
     exec: &E,
 ) -> Result<Vec<Fig4Row>, NapelError> {
+    run_with_io(ctx, config, num_configs, &ModelIo::none(), exec)
+}
+
+/// [`run_with`] threaded through an artifact policy: each leave-one-out
+/// model is saved as (or loaded from) `<dir>/fig4-<workload>.napel`. With
+/// a load directory, the training batch disappears entirely — the figure
+/// is regenerated from stored models, whose predictions are bit-identical
+/// to the direct path's.
+///
+/// # Errors
+///
+/// Propagates training failures; [`crate::NapelError::Artifact`] on
+/// save/load failures or schema mismatches.
+pub fn run_with_io<E: Executor>(
+    ctx: &super::Context,
+    config: &NapelConfig,
+    num_configs: usize,
+    io: &ModelIo,
+    exec: &E,
+) -> Result<Vec<Fig4Row>, NapelError> {
     let archs = sample_arch_configs(num_configs, ctx.seed);
     let workloads = ctx.training.workloads();
     let trained_models = exec.map(&workloads, |_, &w| {
         // NAPEL trained without the application under prediction.
-        Napel::new(config.clone()).train(&ctx.training.filtered(|x| x != w))
+        io.train_or_load(&format!("fig4-{}", w.name()), || {
+            Napel::new(config.clone()).train(&ctx.training.filtered(|x| x != w))
+        })
     });
     let mut rows = Vec::new();
     for (&w, trained) in workloads.iter().zip(trained_models) {

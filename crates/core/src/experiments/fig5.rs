@@ -19,7 +19,8 @@ use napel_ml::model_tree::ModelTreeParams;
 use napel_ml::tree::{DecisionTreeParams, FeatureSubset};
 use napel_workloads::Workload;
 
-use crate::analysis::{average_mre, loao_accuracy_with, LoaoResult};
+use crate::analysis::{average_mre, loao_accuracy_io, LoaoResult};
+use crate::artifact::ModelIo;
 use crate::campaign::{AnyExecutor, Executor};
 use crate::NapelError;
 
@@ -107,11 +108,43 @@ pub fn run(ctx: &super::Context) -> Result<Fig5Result, NapelError> {
 ///
 /// Propagates estimator failures.
 pub fn run_with<E: Executor>(ctx: &super::Context, exec: &E) -> Result<Fig5Result, NapelError> {
+    run_with_io(ctx, &ModelIo::none(), exec)
+}
+
+/// [`run_with`] threaded through an artifact policy: each estimator's
+/// leave-one-out fold models are saved as (or loaded from)
+/// `<dir>/fig5-{napel,ann,dtree}-<workload>.napel` — every family of the
+/// comparison round-trips through the same persistence layer.
+///
+/// # Errors
+///
+/// Propagates estimator failures; [`crate::NapelError::Artifact`] on
+/// save/load failures or schema mismatches.
+pub fn run_with_io<E: Executor>(
+    ctx: &super::Context,
+    io: &ModelIo,
+    exec: &E,
+) -> Result<Fig5Result, NapelError> {
     // All three estimators fit in log-space (see `napel_ml::log_space`) so
     // the comparison stays apples-to-apples.
-    let rf = loao_accuracy_with(&LogOf(napel_estimator()), &ctx.training, ctx.seed, exec)?;
-    let ann = loao_accuracy_with(&LogOf(ann_estimator()), &ctx.training, ctx.seed, exec)?;
-    let dt = loao_accuracy_with(&LogOf(dtree_estimator()), &ctx.training, ctx.seed, exec)?;
+    let set = &ctx.training;
+    let rf = loao_accuracy_io(
+        &LogOf(napel_estimator()),
+        set,
+        ctx.seed,
+        io,
+        "fig5-napel",
+        exec,
+    )?;
+    let ann = loao_accuracy_io(&LogOf(ann_estimator()), set, ctx.seed, io, "fig5-ann", exec)?;
+    let dt = loao_accuracy_io(
+        &LogOf(dtree_estimator()),
+        set,
+        ctx.seed,
+        io,
+        "fig5-dtree",
+        exec,
+    )?;
 
     let find = |rs: &[LoaoResult], w: Workload| -> (f64, f64) {
         rs.iter()

@@ -10,7 +10,8 @@
 use napel_workloads::Workload;
 use nmc_sim::ArchConfig;
 
-use crate::analysis::{nmc_suitability_with, SuitabilityRow};
+use crate::analysis::{nmc_suitability_io, SuitabilityRow};
+use crate::artifact::ModelIo;
 use crate::campaign::{AnyExecutor, Executor};
 use crate::model::NapelConfig;
 use crate::NapelError;
@@ -64,11 +65,32 @@ pub fn run_with<E: Executor>(
     config: &NapelConfig,
     exec: &E,
 ) -> Result<Fig7Result, NapelError> {
-    let rows = nmc_suitability_with(
+    run_with_io(ctx, config, &ModelIo::none(), exec)
+}
+
+/// [`run_with`] threaded through an artifact policy: each held-out
+/// application's model is saved as (or loaded from)
+/// `<dir>/fig7-<workload>.napel`; with a load directory the figure's
+/// predicted columns come from stored models, bit-identical to the
+/// direct path.
+///
+/// # Errors
+///
+/// Propagates training failures; [`crate::NapelError::Artifact`] on
+/// save/load failures or schema mismatches.
+pub fn run_with_io<E: Executor>(
+    ctx: &super::Context,
+    config: &NapelConfig,
+    io: &ModelIo,
+    exec: &E,
+) -> Result<Fig7Result, NapelError> {
+    let rows = nmc_suitability_io(
         &ctx.training,
         config,
         &ArchConfig::paper_default(),
         ctx.scale,
+        io,
+        "fig7",
         exec,
     )?;
     Ok(Fig7Result { rows })

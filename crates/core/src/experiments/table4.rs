@@ -12,6 +12,7 @@ use napel_pisa::ApplicationProfile;
 use napel_workloads::Workload;
 use nmc_sim::ArchConfig;
 
+use crate::artifact::ModelIo;
 use crate::campaign::{AnyExecutor, Executor};
 use crate::collect::{collect_app_with, doe_config_count, CollectionPlan};
 use crate::model::{Napel, NapelConfig};
@@ -63,6 +64,25 @@ pub fn run_with<E: Executor>(
     config: &NapelConfig,
     exec: &E,
 ) -> Result<Vec<Table4Row>, NapelError> {
+    run_with_io(ctx, config, &ModelIo::none(), exec)
+}
+
+/// [`run_with`] threaded through an artifact policy: each leave-one-out
+/// model is saved as (or loaded from) `<dir>/table4-<workload>.napel`.
+/// With a load directory, the "Train+Tune" column measures the artifact
+/// load instead of training — the table then quantifies exactly what the
+/// train-once/predict-many split buys.
+///
+/// # Errors
+///
+/// Propagates training failures; [`crate::NapelError::Artifact`] on
+/// save/load failures or schema mismatches.
+pub fn run_with_io<E: Executor>(
+    ctx: &super::Context,
+    config: &NapelConfig,
+    io: &ModelIo,
+    exec: &E,
+) -> Result<Vec<Table4Row>, NapelError> {
     let arch = ArchConfig::paper_default();
     let mut rows = Vec::new();
     for w in ctx.training.workloads() {
@@ -76,10 +96,13 @@ pub fn run_with<E: Executor>(
         let doe_run_seconds =
             stats.generate_seconds + stats.profile_seconds + stats.simulate_seconds;
 
-        // Train + tune on the other applications.
-        let train_set = ctx.training.filtered(|x| x != w);
+        // Train + tune on the other applications (or, under a load
+        // policy, fetch the stored model — the measured time is then the
+        // artifact-load cost).
         let t0 = Instant::now();
-        let trained = Napel::new(config.clone()).train(&train_set)?;
+        let trained = io.train_or_load(&format!("table4-{}", w.name()), || {
+            Napel::new(config.clone()).train(&ctx.training.filtered(|x| x != w))
+        })?;
         let train_tune_seconds = t0.elapsed().as_secs_f64();
 
         // Prediction: kernel analysis of the test input + inference.

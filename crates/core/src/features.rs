@@ -35,7 +35,29 @@ pub fn combined_features_checked(
     profile: &ApplicationProfile,
     arch: &ArchConfig,
 ) -> Result<Vec<f64>, NapelError> {
-    let names = napel_pisa::feature_names();
+    let mut v = profile_features_by_name(profile, napel_pisa::feature_names())?;
+    v.reserve(ArchConfig::feature_names().len());
+    v.extend(arch.to_features());
+    Ok(v)
+}
+
+/// Extracts `names` from a profile by name-wise lookup, validating the
+/// profile against that schema: the profile must hold exactly as many
+/// values as `names`, and every name must resolve
+/// ([`ApplicationProfile::try_value`]). This is the schema gate both the
+/// campaign runtime and the model-artifact loader go through — an
+/// externally supplied profile built against a different feature list
+/// surfaces [`NapelError::FeatureSchema`] naming the offending feature,
+/// not a panic or a silent misprediction.
+///
+/// # Errors
+///
+/// Returns [`NapelError::FeatureSchema`] on a length mismatch or an
+/// unresolvable name.
+pub fn profile_features_by_name(
+    profile: &ApplicationProfile,
+    names: &[String],
+) -> Result<Vec<f64>, NapelError> {
     if profile.values().len() != names.len() {
         return Err(NapelError::FeatureSchema {
             what: format!(
@@ -45,7 +67,7 @@ pub fn combined_features_checked(
             ),
         });
     }
-    let mut v = Vec::with_capacity(names.len() + ArchConfig::feature_names().len());
+    let mut v = Vec::with_capacity(names.len());
     for name in names {
         v.push(
             profile
@@ -55,7 +77,6 @@ pub fn combined_features_checked(
                 })?,
         );
     }
-    v.extend(arch.to_features());
     Ok(v)
 }
 
@@ -269,6 +290,38 @@ impl TrainingSet {
         }
         Ok(b.build()?)
     }
+
+    /// FNV-1a content hash over the feature schema and every row
+    /// (workload, params, features, instructions, both labels), with
+    /// floats hashed by exact bit pattern. Two sets hash equal iff their
+    /// training-relevant content is bit-identical, so a model artifact can
+    /// record which training data produced it.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for name in &self.feature_names {
+            eat(name.as_bytes());
+            eat(b"\n");
+        }
+        for r in &self.runs {
+            eat(r.workload.name().as_bytes());
+            for &p in &r.params {
+                eat(&p.to_bits().to_be_bytes());
+            }
+            for &x in &r.features {
+                eat(&x.to_bits().to_be_bytes());
+            }
+            eat(&r.instructions.to_be_bytes());
+            eat(&r.ipc.to_bits().to_be_bytes());
+            eat(&r.energy_per_inst_pj.to_bits().to_be_bytes());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +393,61 @@ mod tests {
         let checked = combined_features_checked(&profile, &arch).unwrap();
         assert_eq!(checked, combined_features(&profile, &arch));
         assert_eq!(checked.len(), run.features.len());
+    }
+
+    #[test]
+    fn wrong_length_profile_is_a_schema_error_not_a_panic() {
+        let arch = ArchConfig::paper_default();
+        let short = ApplicationProfile::from_values(vec![1.0, 2.0, 3.0]);
+        let err = combined_features_checked(&short, &arch).unwrap_err();
+        match err {
+            NapelError::FeatureSchema { what } => {
+                assert!(what.contains("3 values"), "{what}");
+                assert!(
+                    what.contains(&napel_pisa::feature_names().len().to_string()),
+                    "{what}"
+                );
+            }
+            other => panic!("expected FeatureSchema, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_name_is_a_schema_error_naming_the_feature() {
+        // A schema that asks for a feature PISA does not produce: the
+        // length matches, so the per-name lookup is what must catch it.
+        let n = napel_pisa::feature_names().len();
+        let profile = ApplicationProfile::from_values(vec![0.0; n]);
+        let mut names = napel_pisa::feature_names().to_vec();
+        names[7] = "no.such.feature".to_string();
+        let err = profile_features_by_name(&profile, &names).unwrap_err();
+        match err {
+            NapelError::FeatureSchema { what } => {
+                assert!(what.contains("`no.such.feature`"), "{what}");
+            }
+            other => panic!("expected FeatureSchema, got {other}"),
+        }
+    }
+
+    #[test]
+    fn content_hash_tracks_training_content() {
+        let set = TrainingSet {
+            feature_names: combined_feature_names(),
+            runs: vec![tiny_run(Workload::Atax), tiny_run(Workload::Bfs)],
+            stats: CollectStats::default(),
+        };
+        let h = set.content_hash();
+        assert_eq!(h, set.clone().content_hash(), "hash is deterministic");
+        // Stats are wall-clock noise, not content.
+        let mut timed = set.clone();
+        timed.stats.simulate_seconds = 123.0;
+        assert_eq!(h, timed.content_hash());
+        // Any label bit flip changes the hash.
+        let mut flipped = set.clone();
+        flipped.runs[0].ipc = f64::from_bits(flipped.runs[0].ipc.to_bits() ^ 1);
+        assert_ne!(h, flipped.content_hash());
+        let fewer = set.filtered(|w| w == Workload::Atax);
+        assert_ne!(h, fewer.content_hash());
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //! journal ([`checkpoint`], `NAPEL_CHECKPOINT`) lets a killed campaign
 //! resume, recomputing only unfinished jobs.
 //!
+//! Trained models persist across processes: [`TrainedNapel`] saves to a
+//! versioned, schema-checked `.napel` artifact bundle ([`artifact`]) and
+//! loads back bit-identically, so the expensive train+tune phase runs
+//! once and every later evaluation or prediction reuses the artifact
+//! (`--model-out` / `--model-in` on the bench drivers).
+//!
 //! # Example
 //!
 //! ```no_run
@@ -57,6 +63,7 @@
 //! ```
 
 pub mod analysis;
+pub mod artifact;
 pub mod campaign;
 pub mod checkpoint;
 pub mod collect;
@@ -66,4 +73,6 @@ pub mod fault;
 pub mod features;
 pub mod model;
 
+pub use artifact::{ModelArtifact, ModelIo, Provenance, TargetKind};
 pub use error::NapelError;
+pub use model::TrainedNapel;

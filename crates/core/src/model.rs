@@ -1,4 +1,12 @@
 //! Phase ③/⑤ — model training, tuning, and prediction.
+//!
+//! Training produces a [`TrainedNapel`] that can be persisted as a
+//! two-artifact `.napel` bundle ([`TrainedNapel::save`]) and later
+//! reloaded ([`TrainedNapel::load`]) without retraining — the
+//! train-once/predict-many split the paper's speedup claims rest on. The
+//! loaded model reproduces the in-memory model's predictions bit for bit.
+
+use std::path::Path;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,7 +19,8 @@ use napel_ml::{Estimator, Regressor};
 use napel_pisa::ApplicationProfile;
 use nmc_sim::ArchConfig;
 
-use crate::features::{combined_features, TrainingSet};
+use crate::artifact::{self, ModelArtifact, Provenance, TargetKind};
+use crate::features::{combined_feature_names, combined_features, TrainingSet};
 use crate::NapelError;
 
 /// Training configuration: the hyper-parameter grid and CV policy of the
@@ -141,12 +150,25 @@ impl Napel {
             (model, Some((outcome.best.describe(), outcome.best_score)))
         };
 
+        let provenance = Provenance {
+            seed: self.config.seed,
+            grid: log_grid.iter().map(|g| g.describe()).collect(),
+            workloads: set
+                .workloads()
+                .iter()
+                .map(|w| w.name().to_string())
+                .collect(),
+            training_rows: set.runs.len(),
+            training_hash: set.content_hash(),
+        };
+
         Ok(TrainedNapel {
             perf,
             energy,
             feature_names: set.feature_names.clone(),
             perf_tune,
             energy_tune,
+            provenance,
         })
     }
 }
@@ -160,6 +182,7 @@ pub struct TrainedNapel {
     feature_names: Vec<String>,
     perf_tune: Option<(String, f64)>,
     energy_tune: Option<(String, f64)>,
+    provenance: Provenance,
 }
 
 impl TrainedNapel {
@@ -220,6 +243,156 @@ impl TrainedNapel {
     /// is fitted on log-IPC).
     pub fn perf_forest(&self) -> &RandomForest {
         self.perf.inner()
+    }
+
+    /// Training provenance: seed, grid, workload set, and the content hash
+    /// of the training data.
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+
+    /// Packages both models as artifacts (IPC first, then energy) — the
+    /// in-memory form of the `.napel` bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NapelError`] if a model's input dimensionality disagrees
+    /// with the stored feature schema (cannot happen for a model produced
+    /// by [`Napel::train`]).
+    pub fn to_artifacts(&self) -> Result<(ModelArtifact, ModelArtifact), NapelError> {
+        let perf = ModelArtifact::from_predictor(
+            TargetKind::Ipc,
+            self.feature_names.clone(),
+            self.provenance.clone(),
+            self.perf_tune.clone(),
+            &self.perf,
+        )?;
+        let energy = ModelArtifact::from_predictor(
+            TargetKind::EnergyPerInst,
+            self.feature_names.clone(),
+            self.provenance.clone(),
+            self.energy_tune.clone(),
+            &self.energy,
+        )?;
+        Ok((perf, energy))
+    }
+
+    /// Saves both models to `path` as a two-artifact `.napel` bundle,
+    /// returning the bytes written. The loaded bundle reproduces this
+    /// model's predictions bit for bit ([`TrainedNapel::load`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NapelError::Artifact`] on I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, NapelError> {
+        let (perf, energy) = self.to_artifacts()?;
+        artifact::write_artifacts(path.as_ref(), &[&perf, &energy])
+    }
+
+    /// Loads a `.napel` bundle saved by [`TrainedNapel::save`], validating
+    /// it against this build: the bundle must hold exactly an IPC and an
+    /// energy artifact whose feature schema matches
+    /// [`combined_feature_names`]. No training (and no RNG) is involved.
+    ///
+    /// # Errors
+    ///
+    /// [`NapelError::Artifact`] on I/O failure, a malformed bundle, or a
+    /// version/schema mismatch — a model trained by an incompatible build
+    /// fails loudly here instead of silently mispredicting.
+    pub fn load(path: impl AsRef<Path>) -> Result<TrainedNapel, NapelError> {
+        let path = path.as_ref();
+        let artifacts = artifact::read_artifacts(path)?;
+        if artifacts.len() != 2 {
+            return Err(NapelError::Artifact {
+                path: path.display().to_string(),
+                what: format!(
+                    "bundle holds {} artifacts, expected ipc + energy_per_inst",
+                    artifacts.len()
+                ),
+            });
+        }
+        let expected = combined_feature_names();
+        artifacts[0].expect_schema(TargetKind::Ipc, &expected)?;
+        artifacts[1].expect_schema(TargetKind::EnergyPerInst, &expected)?;
+        let perf: LogModel<RandomForest> = artifacts[0].decode_payload()?;
+        let energy: LogModel<RandomForest> = artifacts[1].decode_payload()?;
+        Ok(TrainedNapel {
+            perf,
+            energy,
+            feature_names: expected,
+            perf_tune: artifacts[0].tuned.clone(),
+            energy_tune: artifacts[1].tuned.clone(),
+            provenance: artifacts[0].provenance.clone(),
+        })
+    }
+
+    /// Predicts from one raw combined feature row (the inference-only
+    /// entry point: no profile or [`ArchConfig`] object needed, e.g. rows
+    /// read from a file by the `predict` bench). The architecture
+    /// frequency for the time/EDP formulas is taken from the row's
+    /// `arch.freq_ghz` column.
+    ///
+    /// # Errors
+    ///
+    /// [`NapelError::FeatureSchema`] if the row has the wrong length or a
+    /// non-finite value.
+    pub fn predict_row(&self, x: &[f64]) -> Result<Prediction, NapelError> {
+        if x.len() != self.feature_names.len() {
+            return Err(NapelError::FeatureSchema {
+                what: format!(
+                    "row has {} features, model expects {}",
+                    x.len(),
+                    self.feature_names.len()
+                ),
+            });
+        }
+        if let Some(i) = x.iter().position(|v| !v.is_finite()) {
+            return Err(NapelError::FeatureSchema {
+                what: format!(
+                    "feature `{}` is not finite ({})",
+                    self.feature_names[i], x[i]
+                ),
+            });
+        }
+        let freq_ghz = self
+            .feature_names
+            .iter()
+            .position(|n| n == "arch.freq_ghz")
+            .map(|i| x[i])
+            .ok_or_else(|| NapelError::FeatureSchema {
+                what: "schema lacks `arch.freq_ghz`, cannot derive time/EDP".to_string(),
+            })?;
+        Ok(Prediction {
+            ipc: self.perf.predict_one(x),
+            energy_per_inst_pj: self.energy.predict_one(x),
+            freq_ghz,
+        })
+    }
+
+    /// Batch inference over raw feature rows: each row yields a
+    /// [`Prediction`] plus the geometric per-tree uncertainty factor of
+    /// the IPC forest (as in [`TrainedNapel::predict_with_uncertainty`]).
+    /// Emits the `model.predict_batch` telemetry span and the
+    /// `model.predictions` counter.
+    ///
+    /// # Errors
+    ///
+    /// [`NapelError::FeatureSchema`] on the first malformed row.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<(Prediction, f64)>, NapelError> {
+        let telemetry = napel_telemetry::global();
+        let _span = telemetry
+            .span("model.predict_batch")
+            .attr("rows", rows.len());
+        let out = rows
+            .iter()
+            .map(|x| {
+                let pred = self.predict_row(x)?;
+                let spread = self.perf.inner().prediction_std(x).exp();
+                Ok((pred, spread))
+            })
+            .collect::<Result<Vec<_>, NapelError>>()?;
+        telemetry.counter("model.predictions", rows.len() as u64);
+        Ok(out)
     }
 }
 
@@ -338,6 +511,100 @@ mod tests {
                 "duplicate candidate {}",
                 c.describe()
             );
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let set = tiny_set();
+        let trained = Napel::new(NapelConfig::untuned()).train(&set).unwrap();
+        let dir = std::env::temp_dir().join("napel-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round-trip.napel");
+        let bytes = trained.save(&path).unwrap();
+        assert!(bytes > 0);
+        let loaded = TrainedNapel::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.feature_names(), trained.feature_names());
+        assert_eq!(loaded.provenance(), trained.provenance());
+        assert_eq!(loaded.perf_tuning(), trained.perf_tuning());
+        let arch = ArchConfig::paper_default();
+        for r in &set.runs {
+            let a = trained.predict_features(&r.features, &arch);
+            let b = loaded.predict_features(&r.features, &arch);
+            assert_eq!(a.ipc.to_bits(), b.ipc.to_bits());
+            assert_eq!(
+                a.energy_per_inst_pj.to_bits(),
+                b.energy_per_inst_pj.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn provenance_records_the_training_run() {
+        let set = tiny_set();
+        let trained = Napel::new(NapelConfig::untuned()).train(&set).unwrap();
+        let p = trained.provenance();
+        assert_eq!(p.seed, 0xDAC19);
+        assert_eq!(p.grid.len(), 1);
+        assert!(p.grid[0].starts_with("log(forest("), "{}", p.grid[0]);
+        assert_eq!(p.workloads, vec!["atax", "gemv"]);
+        assert_eq!(p.training_rows, set.runs.len());
+        assert_eq!(p.training_hash, set.content_hash());
+    }
+
+    #[test]
+    fn predict_row_matches_predict_features() {
+        let set = tiny_set();
+        let trained = Napel::new(NapelConfig::untuned()).train(&set).unwrap();
+        let r = &set.runs[1];
+        let via_row = trained.predict_row(&r.features).unwrap();
+        let via_arch = trained.predict_features(&r.features, &ArchConfig::paper_default());
+        assert_eq!(via_row.ipc.to_bits(), via_arch.ipc.to_bits());
+        assert_eq!(
+            via_row.energy_per_inst_pj.to_bits(),
+            via_arch.energy_per_inst_pj.to_bits()
+        );
+        // Frequency comes out of the row itself.
+        let freq_idx = trained
+            .feature_names()
+            .iter()
+            .position(|n| n == "arch.freq_ghz")
+            .unwrap();
+        assert_eq!(via_row.freq_ghz, r.features[freq_idx]);
+    }
+
+    #[test]
+    fn predict_row_rejects_malformed_rows() {
+        let set = tiny_set();
+        let trained = Napel::new(NapelConfig::untuned()).train(&set).unwrap();
+        let err = trained.predict_row(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, NapelError::FeatureSchema { .. }), "{err}");
+        let mut bad = set.runs[0].features.clone();
+        bad[5] = f64::NAN;
+        let err = trained.predict_row(&bad).unwrap_err();
+        assert!(err.to_string().contains("not finite"), "{err}");
+    }
+
+    #[test]
+    fn predict_batch_reports_uncertainty_per_row() {
+        let set = tiny_set();
+        let trained = Napel::new(NapelConfig::untuned()).train(&set).unwrap();
+        let rows: Vec<Vec<f64>> = set
+            .runs
+            .iter()
+            .take(3)
+            .map(|r| r.features.clone())
+            .collect();
+        let out = trained.predict_batch(&rows).unwrap();
+        assert_eq!(out.len(), 3);
+        for (i, (pred, spread)) in out.iter().enumerate() {
+            assert_eq!(
+                pred.ipc.to_bits(),
+                trained.predict_row(&rows[i]).unwrap().ipc.to_bits()
+            );
+            assert!(*spread >= 1.0);
         }
     }
 

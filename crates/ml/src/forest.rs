@@ -155,9 +155,34 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
+    /// Number of features the forest was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
     /// Number of trees in the ensemble.
     pub fn num_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// The fitted trees (for serialization).
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Rebuilds a forest from its serialized parts. The caller
+    /// ([`crate::persist`]) has already validated tree count and feature
+    /// dimensions.
+    pub(crate) fn from_parts(
+        trees: Vec<DecisionTree>,
+        num_features: usize,
+        oob_mse: Option<f64>,
+    ) -> RandomForest {
+        RandomForest {
+            trees,
+            num_features,
+            oob_mse,
+        }
     }
 
     /// Out-of-bag mean squared error, if bootstrap left any row out of at
@@ -167,14 +192,22 @@ impl RandomForest {
     }
 
     /// Per-tree predictions for one input (useful for uncertainty bands).
+    /// Empty for a zero-tree forest (unreachable via [`Estimator::fit`],
+    /// which rejects `num_trees == 0`).
     pub fn tree_predictions(&self, x: &[f64]) -> Vec<f64> {
         self.trees.iter().map(|t| t.predict_one(x)).collect()
     }
 
     /// Standard deviation of per-tree predictions — a cheap epistemic
-    /// uncertainty proxy.
+    /// uncertainty proxy. A zero-tree forest yields `0.0` rather than NaN;
+    /// such a forest cannot come from [`Estimator::fit`] (it rejects
+    /// `num_trees == 0`) or from deserialization (the decoder rejects it),
+    /// so this is defense in depth.
     pub fn prediction_std(&self, x: &[f64]) -> f64 {
         let preds = self.tree_predictions(x);
+        if preds.is_empty() {
+            return 0.0;
+        }
         let mean = preds.iter().sum::<f64>() / preds.len() as f64;
         (preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64).sqrt()
     }
@@ -342,6 +375,19 @@ mod tests {
         .fit(&d, &mut rng())
         .unwrap_err();
         assert!(matches!(err, MlError::InvalidHyperParameter { .. }));
+    }
+
+    #[test]
+    fn zero_tree_forest_uncertainty_is_zero_not_nan() {
+        // Unreachable through fit/decode, but constructible in principle;
+        // the uncertainty accessors must stay well-defined.
+        let f = RandomForest {
+            trees: vec![],
+            num_features: 2,
+            oob_mse: None,
+        };
+        assert_eq!(f.tree_predictions(&[1.0, 2.0]), Vec::<f64>::new());
+        assert_eq!(f.prediction_std(&[1.0, 2.0]), 0.0);
     }
 
     #[test]

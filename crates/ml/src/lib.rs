@@ -18,7 +18,10 @@
 //! - [`log_space::LogOf`] — log-target wrapper aligning the estimators'
 //!   squared-error objective with the paper's relative-error metric,
 //! - [`metrics`] — mean relative error (Equation 1 of the paper), MAE,
-//!   RMSE, R².
+//!   RMSE, R²,
+//! - [`persist`] — deterministic, versioned, bit-exact serialization for
+//!   every fitted model plus the object-safe [`Predictor`] trait (the
+//!   train-once/predict-many artifact layer).
 //!
 //! Every estimator is deterministic given a seeded RNG, which the
 //! experiment harness relies on for reproducibility.
@@ -55,10 +58,12 @@ pub mod log_space;
 pub mod metrics;
 pub mod mlp;
 pub mod model_tree;
+pub mod persist;
 pub mod scaler;
 pub mod tree;
 
 pub use error::MlError;
+pub use persist::{Persist, PersistError, Predictor};
 
 use rand::RngCore;
 

@@ -103,6 +103,28 @@ impl Ridge {
     pub fn weights(&self) -> &[f64] {
         &self.weights[..self.weights.len() - 1]
     }
+
+    /// Number of features the model was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.scaler.num_features()
+    }
+
+    /// The fitted scaler (for serialization).
+    pub(crate) fn scaler(&self) -> &Scaler {
+        &self.scaler
+    }
+
+    /// The full weight vector, intercept included (for serialization).
+    pub(crate) fn raw_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Rebuilds a ridge model from its serialized parts. The caller
+    /// ([`crate::persist`]) has already checked the weight count against
+    /// the scaler's feature count.
+    pub(crate) fn from_parts(scaler: Scaler, weights: Vec<f64>) -> Ridge {
+        Ridge { scaler, weights }
+    }
 }
 
 impl Regressor for Ridge {

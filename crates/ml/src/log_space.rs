@@ -70,7 +70,13 @@ pub struct LogModel<M> {
     inner: M,
 }
 
-impl<M: Regressor> LogModel<M> {
+impl<M> LogModel<M> {
+    /// Wraps an already-fitted log-space model (the deserialization path;
+    /// training goes through [`LogOf`]).
+    pub fn new(inner: M) -> LogModel<M> {
+        LogModel { inner }
+    }
+
     /// The wrapped log-space model.
     pub fn inner(&self) -> &M {
         &self.inner

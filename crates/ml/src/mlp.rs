@@ -134,16 +134,16 @@ impl Estimator for MlpParams {
 
 /// One dense layer's parameters (row-major `out × in` weights).
 #[derive(Debug, Clone)]
-struct Layer {
-    w: Vec<f64>,
-    b: Vec<f64>,
-    rows: usize,
-    cols: usize,
+pub(crate) struct Layer {
+    pub(crate) w: Vec<f64>,
+    pub(crate) b: Vec<f64>,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
 }
 
 #[derive(Debug, Clone)]
-struct Network {
-    layers: Vec<Layer>,
+pub(crate) struct Network {
+    pub(crate) layers: Vec<Layer>,
 }
 
 impl Network {
@@ -269,9 +269,25 @@ pub struct Mlp {
 }
 
 impl Mlp {
+    /// Number of features the network was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.scaler.num_features()
+    }
+
     /// Total number of trainable parameters.
     pub fn num_parameters(&self) -> usize {
         self.net.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// The fitted scaler and network (for serialization).
+    pub(crate) fn parts(&self) -> (&Scaler, &Network) {
+        (&self.scaler, &self.net)
+    }
+
+    /// Rebuilds an MLP from its serialized parts. The caller
+    /// ([`crate::persist`]) has already validated the layer-shape chain.
+    pub(crate) fn from_parts(scaler: Scaler, net: Network) -> Mlp {
+        Mlp { scaler, net }
     }
 }
 

@@ -65,8 +65,11 @@ impl Estimator for ModelTreeParams {
     }
 }
 
+/// A node of the fitted model tree. As in [`crate::tree`], children always
+/// come after their parent in the arena; [`crate::persist`] relies on this
+/// invariant to validate decoded trees.
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         model: LeafModel,
     },
@@ -79,7 +82,7 @@ enum Node {
 }
 
 #[derive(Debug, Clone)]
-enum LeafModel {
+pub(crate) enum LeafModel {
     /// Ridge model over the leaf's samples.
     Linear(Ridge),
     /// Mean fallback when the leaf design is degenerate.
@@ -114,12 +117,31 @@ pub struct ModelTree {
 }
 
 impl ModelTree {
+    /// Number of features the tree was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
     /// Number of leaves (each carrying a linear model).
     pub fn num_leaves(&self) -> usize {
         self.nodes
             .iter()
             .filter(|n| matches!(n, Node::Leaf { .. }))
             .count()
+    }
+
+    /// The node arena (for serialization).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Rebuilds a model tree from its serialized parts. The caller
+    /// ([`crate::persist`]) has already validated the arena invariants.
+    pub(crate) fn from_parts(nodes: Vec<Node>, num_features: usize) -> ModelTree {
+        ModelTree {
+            nodes,
+            num_features,
+        }
     }
 }
 

@@ -29,9 +29,42 @@ impl Scaler {
             .sum::<f64>()
             / n;
         Scaler {
-            feature_moments: data.feature_moments(),
+            // Floor each feature std the way the target is floored below:
+            // a constant column must standardize to finite values (0.0 at
+            // the fitted constant), never NaN/Inf, regardless of what the
+            // dataset reports for it.
+            feature_moments: data
+                .feature_moments()
+                .into_iter()
+                .map(|(mean, std)| (mean, std.max(1e-12)))
+                .collect(),
             target_mean: tm,
             target_std: tv.sqrt().max(1e-12),
+        }
+    }
+
+    /// Per-feature (mean, std) moments (for serialization).
+    pub(crate) fn moments(&self) -> &[(f64, f64)] {
+        &self.feature_moments
+    }
+
+    /// Target (mean, std) moments (for serialization).
+    pub(crate) fn target_moments(&self) -> (f64, f64) {
+        (self.target_mean, self.target_std)
+    }
+
+    /// Rebuilds a scaler from its serialized parts. The caller
+    /// ([`crate::persist`]) has already validated the moments; values are
+    /// taken verbatim to keep round trips bit-exact.
+    pub(crate) fn from_parts(
+        feature_moments: Vec<(f64, f64)>,
+        target_mean: f64,
+        target_std: f64,
+    ) -> Scaler {
+        Scaler {
+            feature_moments,
+            target_mean,
+            target_std,
         }
     }
 
@@ -108,5 +141,24 @@ mod tests {
         let s = Scaler::fit(&b.build().unwrap());
         let z = s.transform_features(&[5.0]);
         assert!(z[0].is_finite());
+    }
+
+    #[test]
+    fn constant_column_among_varying_ones_stays_finite() {
+        // Regression test for the per-feature std floor: a constant column
+        // next to varying ones must standardize to exactly 0.0 at the
+        // fitted constant and to finite values everywhere else, and must
+        // not poison its neighbors.
+        let mut b = Dataset::builder(vec!["k".into(), "x".into()]);
+        for i in 0..8 {
+            b.push_row(vec![42.0, i as f64], i as f64).unwrap();
+        }
+        let s = Scaler::fit(&b.build().unwrap());
+        let z = s.transform_features(&[42.0, 3.5]);
+        assert_eq!(z[0], 0.0, "constant column standardizes to 0 exactly");
+        assert!(z[1].is_finite());
+        // Off the constant: still finite (huge, but not Inf/NaN).
+        let z = s.transform_features(&[43.0, 3.5]);
+        assert!(z[0].is_finite(), "shifted constant column must stay finite");
     }
 }

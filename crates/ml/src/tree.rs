@@ -98,9 +98,12 @@ impl Estimator for DecisionTreeParams {
     }
 }
 
-/// A node of the fitted tree, in a flat arena.
+/// A node of the fitted tree, in a flat arena. Children always come after
+/// their parent in the arena (the builder reserves the parent slot before
+/// growing either child) — [`crate::persist`] relies on this invariant to
+/// validate decoded trees.
 #[derive(Debug, Clone, PartialEq)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         value: f64,
     },
@@ -141,9 +144,28 @@ pub struct DecisionTree {
 }
 
 impl DecisionTree {
+    /// Number of features the tree was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
     /// Number of nodes in the tree.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The node arena (for serialization).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Rebuilds a tree from its serialized parts. The caller
+    /// ([`crate::persist`]) has already validated the arena invariants.
+    pub(crate) fn from_parts(nodes: Vec<Node>, num_features: usize) -> DecisionTree {
+        DecisionTree {
+            nodes,
+            num_features,
+        }
     }
 
     /// Number of leaves.

@@ -57,6 +57,16 @@ impl ApplicationProfile {
         observer.assemble()
     }
 
+    /// Wraps a raw feature vector as a profile, in [`feature_names`] order.
+    ///
+    /// This is the ingestion path for externally produced profiles (and
+    /// for tests exercising schema validation): no length check happens
+    /// here — consumers validate against their expected schema and surface
+    /// a typed error on mismatch.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        ApplicationProfile { values }
+    }
+
     /// The feature values, aligned with [`feature_names`].
     pub fn values(&self) -> &[f64] {
         &self.values

@@ -4,7 +4,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use napel::core::collect::{collect, CollectionPlan};
-use napel::core::model::{Napel, NapelConfig};
+use napel::core::model::{Napel, NapelConfig, TrainedNapel};
 use napel::pisa::ApplicationProfile;
 use napel::sim::{ArchConfig, NmcSystem};
 use napel::workloads::{Scale, Workload};
@@ -64,5 +64,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "   relative IPC error: {:.1}%",
         (pred.ipc - actual.ipc()).abs() / actual.ipc() * 100.0
     );
+
+    // Train once, predict many: persist the trained models as a .napel
+    // artifact bundle and reload them — no retraining, bit-identical
+    // predictions.
+    println!("4. saving the trained models and predicting from the artifact...");
+    let bundle = std::env::temp_dir().join("quickstart.napel");
+    let bytes = trained.save(&bundle)?;
+    let reloaded = TrainedNapel::load(&bundle)?;
+    let again = reloaded.predict(&profile, &ArchConfig::paper_default());
+    println!(
+        "   {} bytes -> {} ; reloaded IPC {:.3} (bit-identical: {})",
+        bytes,
+        bundle.display(),
+        again.ipc,
+        again.ipc.to_bits() == pred.ipc.to_bits()
+    );
+    std::fs::remove_file(&bundle).ok();
     Ok(())
 }
