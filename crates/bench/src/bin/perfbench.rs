@@ -1,0 +1,239 @@
+//! Simulator-throughput benchmark: measures the phase-split engine against
+//! the reference interleaved engine on a multi-configuration simulation
+//! campaign, plus the surrounding pipeline stages, and writes the numbers
+//! to a JSON file (`BENCH_sim.json` by default) for CI artifacts and the
+//! README perf note.
+//!
+//! Reported metrics:
+//!
+//! - `sim` — wall-clock for the same multi-config × all-kernels sweep on
+//!   both engines (best of `--repeat` rounds), simulated cycles/sec each,
+//!   and the end-to-end speedup,
+//! - `campaign` — labeled training rows/sec through the full collection
+//!   path (profile + encode + simulate + label),
+//! - `trace` — compact-encoding ratio over every kernel's trace,
+//! - `predict` — trained-model batch-prediction rows/sec.
+//!
+//! Flags: `--scale laptop|tiny|unit` (default `tiny`), `--configs N`
+//! (architecture configurations, default all 6 of the neighborhood sweep),
+//! `--repeat N` (timing rounds, default 3), `--out PATH` (default
+//! `BENCH_sim.json`), `--quiet`.
+//!
+//! Run as `cargo run --release -p napel-bench --bin perfbench`.
+
+use std::time::Instant;
+
+use napel_core::campaign::Serial;
+use napel_core::collect::{arch_neighborhood, collect_with, CollectionPlan};
+use napel_core::model::{Napel, NapelConfig};
+use napel_ir::{EncodedTrace, MultiTrace};
+use napel_workloads::{Scale, Workload};
+use nmc_sim::{ArchConfig, NmcSystem, SimEngine, SimReport};
+
+struct Flags {
+    scale: Scale,
+    scale_name: String,
+    configs: usize,
+    repeat: usize,
+    out: String,
+    quiet: bool,
+}
+
+fn parse_flags() -> Flags {
+    let mut f = Flags {
+        scale: Scale::tiny(),
+        scale_name: "tiny".into(),
+        configs: usize::MAX,
+        repeat: 3,
+        out: "BENCH_sim.json".into(),
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                f.scale = match v.as_str() {
+                    "laptop" => Scale::laptop(),
+                    "tiny" => Scale::tiny(),
+                    "unit" => Scale::unit(),
+                    other => panic!("unknown scale `{other}` (laptop|tiny|unit)"),
+                };
+                f.scale_name = v;
+            }
+            "--configs" => {
+                f.configs = args
+                    .next()
+                    .expect("--configs needs a value")
+                    .parse()
+                    .expect("--configs must be an integer");
+            }
+            "--repeat" => {
+                f.repeat = args
+                    .next()
+                    .expect("--repeat needs a value")
+                    .parse::<usize>()
+                    .expect("--repeat must be an integer")
+                    .max(1);
+            }
+            "--out" => {
+                f.out = args.next().expect("--out needs a path");
+            }
+            "--quiet" => f.quiet = true,
+            other => panic!("unknown flag `{other}` (--scale|--configs|--repeat|--out|--quiet)"),
+        }
+    }
+    f
+}
+
+/// One pre-materialized job of the sweep: a config paired with every
+/// kernel trace, so the timed region contains simulation only.
+struct Sweep {
+    archs: Vec<ArchConfig>,
+    traces: Vec<MultiTrace>,
+}
+
+impl Sweep {
+    fn new(scale: Scale, configs: usize) -> Sweep {
+        let mut archs = arch_neighborhood();
+        archs.truncate(configs.max(1));
+        let traces = Workload::ALL
+            .into_iter()
+            .map(|w| w.generate_test(scale))
+            .collect();
+        Sweep { archs, traces }
+    }
+
+    fn run<F: FnMut(&NmcSystem, &MultiTrace) -> SimReport>(&self, mut sim: F) -> (f64, u64, u64) {
+        let t = Instant::now();
+        let (mut cycles, mut insts) = (0u64, 0u64);
+        for arch in &self.archs {
+            let sys = NmcSystem::new(arch.clone());
+            for trace in &self.traces {
+                let report = sim(&sys, trace);
+                cycles += report.cycles;
+                insts += report.instructions;
+            }
+        }
+        (t.elapsed().as_secs_f64(), cycles, insts)
+    }
+}
+
+fn main() {
+    let flags = parse_flags();
+    let info = |msg: &str| {
+        if !flags.quiet {
+            eprintln!("perfbench: {msg}");
+        }
+    };
+
+    // --- Simulator engines: reference vs phase-split -------------------
+    let sweep = Sweep::new(flags.scale, flags.configs);
+    info(&format!(
+        "sim sweep: {} configs x {} kernels, best of {} rounds",
+        sweep.archs.len(),
+        sweep.traces.len(),
+        flags.repeat
+    ));
+    let mut engine = SimEngine::new();
+    let (mut ref_secs, mut phase_secs) = (f64::INFINITY, f64::INFINITY);
+    let (mut cycles, mut insts) = (0, 0);
+    for round in 0..flags.repeat {
+        let (rs, rc, ri) = sweep.run(|sys, trace| sys.run_reference(trace));
+        let (ps, pc, pi) = sweep.run(|sys, trace| engine.run(sys, trace));
+        assert_eq!(
+            (rc, ri),
+            (pc, pi),
+            "engines disagree on total cycles/instructions"
+        );
+        (cycles, insts) = (rc, ri);
+        ref_secs = ref_secs.min(rs);
+        phase_secs = phase_secs.min(ps);
+        info(&format!(
+            "  round {}: reference {rs:.3}s, phase {ps:.3}s",
+            round + 1
+        ));
+    }
+    let speedup = ref_secs / phase_secs;
+    info(&format!(
+        "sim: {:.2}x speedup ({:.3e} -> {:.3e} cycles/sec)",
+        speedup,
+        cycles as f64 / ref_secs,
+        cycles as f64 / phase_secs
+    ));
+
+    // --- Campaign throughput (profile + encode + simulate + label) -----
+    let plan = CollectionPlan {
+        workloads: Workload::ALL.to_vec(),
+        arch_configs: sweep.archs.clone(),
+        scale: flags.scale,
+        dedup: true,
+    };
+    let t = Instant::now();
+    let set = collect_with(&plan, &Serial);
+    let campaign_secs = t.elapsed().as_secs_f64();
+    let campaign_rows = set.runs.len();
+    info(&format!(
+        "campaign: {campaign_rows} rows in {campaign_secs:.3}s ({:.1} rows/sec)",
+        campaign_rows as f64 / campaign_secs
+    ));
+
+    // --- Trace encoding ratio ------------------------------------------
+    let (mut raw_bytes, mut enc_bytes) = (0u64, 0u64);
+    for trace in &sweep.traces {
+        let enc = EncodedTrace::from_multi(trace);
+        raw_bytes += enc.materialized_bytes() as u64;
+        enc_bytes += enc.encoded_bytes() as u64;
+    }
+    let encode_ratio = raw_bytes as f64 / enc_bytes.max(1) as f64;
+    info(&format!("trace: {encode_ratio:.2}x encoding ratio"));
+
+    // --- Batch prediction throughput -----------------------------------
+    let trained = Napel::new(NapelConfig::untuned())
+        .train(&set)
+        .expect("training on the campaign set succeeds");
+    let rows: Vec<Vec<f64>> = set.runs.iter().map(|r| r.features.clone()).collect();
+    // Repeat the batch until the timed region is long enough to resolve.
+    let batches = (10_000 / rows.len().max(1)).max(1);
+    let t = Instant::now();
+    for _ in 0..batches {
+        trained
+            .predict_batch(&rows)
+            .expect("prediction on training rows succeeds");
+    }
+    let predict_secs = t.elapsed().as_secs_f64();
+    let predict_rows_per_sec = (batches * rows.len()) as f64 / predict_secs;
+    info(&format!(
+        "predict: {predict_rows_per_sec:.0} rows/sec ({batches} batches of {})",
+        rows.len()
+    ));
+
+    // --- Emit JSON ------------------------------------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"sim\",\n  \"scale\": \"{}\",\n  \"configs\": {},\n  \"kernels\": {},\n  \"repeat\": {},\n  \"sim\": {{\n    \"cycles\": {},\n    \"instructions\": {},\n    \"reference_seconds\": {:.6},\n    \"phase_seconds\": {:.6},\n    \"reference_cycles_per_sec\": {:.1},\n    \"phase_cycles_per_sec\": {:.1},\n    \"speedup\": {:.3}\n  }},\n  \"campaign\": {{\n    \"rows\": {},\n    \"seconds\": {:.6},\n    \"rows_per_sec\": {:.2}\n  }},\n  \"trace\": {{\n    \"materialized_bytes\": {},\n    \"encoded_bytes\": {},\n    \"encode_ratio\": {:.3}\n  }},\n  \"predict\": {{\n    \"rows\": {},\n    \"batches\": {},\n    \"rows_per_sec\": {:.1}\n  }}\n}}\n",
+        flags.scale_name,
+        sweep.archs.len(),
+        sweep.traces.len(),
+        flags.repeat,
+        cycles,
+        insts,
+        ref_secs,
+        phase_secs,
+        cycles as f64 / ref_secs,
+        cycles as f64 / phase_secs,
+        speedup,
+        campaign_rows,
+        campaign_secs,
+        campaign_rows as f64 / campaign_secs,
+        raw_bytes,
+        enc_bytes,
+        encode_ratio,
+        rows.len(),
+        batches,
+        predict_rows_per_sec,
+    );
+    std::fs::write(&flags.out, &json)
+        .unwrap_or_else(|e| panic!("writing `{}` failed: {e}", flags.out));
+    println!("{json}");
+    info(&format!("wrote {}", flags.out));
+}

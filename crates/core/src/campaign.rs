@@ -54,7 +54,7 @@ use std::time::Instant;
 
 use napel_pisa::ApplicationProfile;
 use napel_workloads::{Scale, Workload};
-use nmc_sim::{ArchConfig, NmcSystem};
+use nmc_sim::{ArchConfig, NmcSystem, SimEngine};
 
 use crate::checkpoint::CheckpointJournal;
 use crate::collect::{doe_points, CollectionPlan};
@@ -894,17 +894,27 @@ fn execute_job(
     let point = cache.profiled(job);
     let t = Instant::now();
     let system = NmcSystem::new(job.arch.clone());
+    // Each worker thread owns one phase-split engine and simulates every
+    // job through it, so frontends, vault queues, the in-flight arena, and
+    // the DRAM model are reused across a campaign instead of reallocated
+    // per job. A panic mid-run is harmless: the engine re-prepares all
+    // state at the start of the next run.
+    thread_local! {
+        static SIM_ENGINE: std::cell::RefCell<SimEngine> =
+            std::cell::RefCell::new(SimEngine::new());
+    }
     // Both arms feed the simulator the exact instruction sequence the
-    // kernel emits ([`NmcSystem::run`] itself delegates to `run_streams`),
-    // so the report — and thus the labeled row — is policy-independent.
-    let report = match &point.trace {
-        ResidentTrace::Encoded(enc) => system.run_streams(
-            (0..enc.num_threads())
-                .map(|t| enc.thread_iter(t))
-                .collect::<Vec<_>>(),
-        ),
-        ResidentTrace::Regenerate => system.run(&job.workload.generate(&job.coords, job.scale)),
-    };
+    // kernel emits (both entry points share the engine), so the report —
+    // and thus the labeled row — is policy-independent.
+    let report = SIM_ENGINE.with(|engine| {
+        let mut engine = engine.borrow_mut();
+        match &point.trace {
+            ResidentTrace::Encoded(enc) => engine.run_streams(&system, enc.thread_iters()),
+            ResidentTrace::Regenerate => {
+                engine.run(&system, &job.workload.generate(&job.coords, job.scale))
+            }
+        }
+    });
     let simulate_seconds = t.elapsed().as_secs_f64();
     let mut run = LabeledRun::from_report_checked(
         job.workload,

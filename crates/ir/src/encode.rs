@@ -288,6 +288,14 @@ impl EncodedTrace {
         }
     }
 
+    /// Decoding iterators for every thread, in thread order — the shape
+    /// `NmcSystem::run_streams` consumes.
+    pub fn thread_iters(&self) -> Vec<DecodeIter<'_>> {
+        (0..self.num_threads())
+            .map(|t| self.thread_iter(t))
+            .collect()
+    }
+
     /// Decodes the whole trace back into a [`MultiTrace`] (tests and
     /// explicitly materializing callers only — the point of the format is
     /// not to do this).

@@ -154,6 +154,30 @@ impl Cache {
         }
     }
 
+    /// Returns the cache to its power-on state (all lines invalid, counters
+    /// zeroed) without reallocating the set arrays — the buffer-reuse path
+    /// when a campaign worker recycles one engine across jobs.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                *line = Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    last_use: 0,
+                };
+            }
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of lines (for shape comparison when deciding whether a reset
+    /// can reuse the allocation).
+    pub fn num_lines(&self) -> usize {
+        self.sets.len() * self.sets.first().map_or(0, |s| s.len())
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -240,6 +264,20 @@ mod tests {
             c.access(0, false);
         }
         assert!((c.stats().hit_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_cold_behavior() {
+        let mut c = Cache::new(2, 64, 2);
+        c.access(0, true);
+        c.access(0, false);
+        assert_eq!(c.stats().hits, 1);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        let a = c.access(0, false);
+        assert!(!a.hit, "reset cache must miss cold");
+        assert_eq!(a.writeback, None, "reset clears dirty bits");
+        assert_eq!(c.num_lines(), 2);
     }
 
     #[test]

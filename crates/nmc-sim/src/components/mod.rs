@@ -1,0 +1,13 @@
+//! Hardware component models: caches, DRAM vaults, PEs, links, energy.
+//!
+//! Components hold *state and timing math* only; scheduling — who accesses
+//! what, in which order — is the [`engine`](crate::engine)'s job. Both the
+//! phase-split engine and the reference interleaved engine are built from
+//! these same components, which is what makes their reports bit-identical
+//! by construction wherever the access sequences agree.
+
+pub mod cache;
+pub mod dram;
+pub mod energy;
+pub mod link;
+pub mod pe;

@@ -18,9 +18,10 @@ use crate::config::ArchConfig;
 use crate::dram::DramModel;
 use crate::energy::EnergyModel;
 
-/// Execution latencies in cycles for compute opcodes.
+/// Execution latencies in cycles for compute opcodes. Shared with the
+/// phase-split engine's frontends so both engines time compute identically.
 #[inline]
-fn exec_latency(op: Opcode) -> u64 {
+pub(crate) fn exec_latency(op: Opcode) -> u64 {
     match op {
         Opcode::IntAlu | Opcode::AddrCalc | Opcode::Mov | Opcode::Branch | Opcode::Other => 1,
         Opcode::IntMul => 3,

@@ -1,0 +1,374 @@
+//! Per-PE frontends: the pull side of the phase-split engine.
+//!
+//! A frontend replays one PE's instruction streams exactly as
+//! [`ProcessingElement::step`](crate::pe::ProcessingElement::step) would —
+//! same fetch, scoreboard, issue-slot, cache, and energy arithmetic — but
+//! instead of calling into the shared DRAM synchronously it *emits* typed,
+//! pre-routed requests into the per-vault queues and keeps running ahead.
+//! The only feedback from shared state into a PE's timing is a consumed
+//! load miss's completion cycle; a frontend therefore runs until a step
+//! reads a register whose defining load is still unresolved, then parks
+//! (stall-on-use) until the drain phase resolves that arena slot.
+//!
+//! Differences from the reference PE are pure mechanics, not modeling:
+//! the register scoreboard is a dense vector instead of a hash map
+//! (register ids are consecutive SSA indices from each thread's emitter;
+//! absent means ready-at-0 in both representations), and completions of
+//! unconsumed loads are folded into `last_completion` lazily — at absorb
+//! time, at def-overwrite time (register ids restart per software thread,
+//! so a later thread's def can shadow an in-flight load), or in the final
+//! sweep — which is sound because `max` is commutative.
+
+use napel_ir::fxhash::FxHashMap;
+use napel_ir::{Inst, Opcode};
+
+use crate::components::cache::{Cache, CacheStats};
+use crate::components::dram::DramGeometry;
+use crate::components::energy::EnergyModel;
+use crate::components::pe::exec_latency;
+use crate::config::ArchConfig;
+
+use super::arena::{LoadArena, ReqKey};
+use super::vault::{QueuedReq, VaultQueues};
+use super::InstSource;
+
+/// Mutable engine state a frontend needs while advancing.
+pub(crate) struct EngineShared<'a> {
+    pub arena: &'a mut LoadArena,
+    pub queues: &'a mut VaultQueues,
+    pub geometry: DramGeometry,
+    pub energy: &'a EnergyModel,
+}
+
+/// Why a frontend stopped advancing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrontendStatus {
+    /// Parked on an unresolved load (the awaited arena slot is marked).
+    Blocked,
+    /// All assigned streams are fully executed.
+    Exhausted,
+}
+
+/// One PE's replay state.
+#[derive(Debug)]
+pub(crate) struct PeFrontend {
+    idx: u32,
+    dcache: Cache,
+    icache: Cache,
+    /// Dense scoreboard: ready cycle per register id; absent (beyond the
+    /// vector) means 0, matching the reference engine's missing-key case.
+    reg_time: Vec<u64>,
+    /// Registers whose defining load is still in flight → arena slot.
+    /// Takes priority over `reg_time` (a pending def is the newest def).
+    pending: FxHashMap<u32, u32>,
+    /// In-flight loads whose destination was overwritten or absent; their
+    /// completions still bound `last_completion` at sweep time.
+    orphans: Vec<u32>,
+    /// Software threads assigned to this PE, executed back-to-back.
+    threads: Vec<usize>,
+    cursor: usize,
+    cycle: u64,
+    slots_used: usize,
+    issue_width: usize,
+    last_completion: u64,
+    instructions: u64,
+    ifetch_misses: u64,
+    compute_energy_pj: f64,
+    ifetch_miss_latency: u64,
+    hit_latency: u64,
+    xbar_latency: u64,
+    line_mask: u64,
+    /// Running request counter: the `seq` of the next emitted request.
+    seq: u64,
+    /// The instruction whose step stalled, re-executed on resume (the stall
+    /// happens before the step mutates anything, so re-execution is exact).
+    stalled: Option<Inst>,
+}
+
+impl PeFrontend {
+    pub fn new(idx: u32, cfg: &ArchConfig) -> Self {
+        let t = cfg.timing;
+        PeFrontend {
+            idx,
+            dcache: Cache::new(cfg.cache_lines, cfg.cache_line_bytes, cfg.cache_assoc),
+            icache: Cache::new(cfg.cache_lines, cfg.cache_line_bytes, cfg.cache_assoc),
+            reg_time: Vec::new(),
+            pending: FxHashMap::default(),
+            orphans: Vec::new(),
+            threads: Vec::new(),
+            cursor: 0,
+            cycle: 0,
+            slots_used: 0,
+            issue_width: cfg.issue_width.max(1),
+            last_completion: 0,
+            instructions: 0,
+            ifetch_misses: 0,
+            compute_energy_pj: 0.0,
+            ifetch_miss_latency: t.t_cl + t.t_bl,
+            hit_latency: cfg.cache_hit_latency,
+            xbar_latency: cfg.xbar_latency,
+            line_mask: !(cfg.cache_line_bytes - 1),
+            seq: 0,
+            stalled: None,
+        }
+    }
+
+    /// Returns the frontend to its initial state for the same configuration,
+    /// keeping every allocation (caches, scoreboard, maps).
+    pub fn reset(&mut self) {
+        self.dcache.reset();
+        self.icache.reset();
+        self.reg_time.clear();
+        self.pending.clear();
+        self.orphans.clear();
+        self.threads.clear();
+        self.cursor = 0;
+        self.cycle = 0;
+        self.slots_used = 0;
+        self.last_completion = 0;
+        self.instructions = 0;
+        self.ifetch_misses = 0;
+        self.compute_energy_pj = 0.0;
+        self.seq = 0;
+        self.stalled = None;
+    }
+
+    /// Assigns software thread `t` (streams run back-to-back in push order).
+    pub fn assign_thread(&mut self, t: usize) {
+        self.threads.push(t);
+    }
+
+    /// The key the frontend's *next* request would carry. While blocked this
+    /// is a lower bound on everything it will ever emit (the stalled step's
+    /// start cycle is `self.cycle`, unchanged by stalling, and `cycle`/`seq`
+    /// only grow), so the minimum over blocked frontends is a safe drain
+    /// horizon — and the awaited load's own key is strictly below it.
+    #[inline]
+    pub fn next_key(&self) -> ReqKey {
+        ReqKey {
+            cycle: self.cycle,
+            pe: self.idx,
+            seq: self.seq,
+        }
+    }
+
+    /// Runs ahead until the PE blocks on an unresolved load or exhausts its
+    /// streams.
+    pub fn advance<S: InstSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        sh: &mut EngineShared<'_>,
+    ) -> FrontendStatus {
+        loop {
+            let inst = match self.stalled.take() {
+                Some(i) => i,
+                None => loop {
+                    match self.threads.get(self.cursor) {
+                        None => return FrontendStatus::Exhausted,
+                        Some(&t) => match source.next(t) {
+                            Some(i) => break i,
+                            None => self.cursor += 1,
+                        },
+                    }
+                },
+            };
+            if !self.step(&inst, sh) {
+                self.stalled = Some(inst);
+                return FrontendStatus::Blocked;
+            }
+        }
+    }
+
+    /// Mirrors `ProcessingElement::step`, emitting DRAM requests instead of
+    /// performing them. Returns `false` (and mutates nothing of the step)
+    /// if a source register's load is still unresolved.
+    fn step(&mut self, inst: &Inst, sh: &mut EngineShared<'_>) -> bool {
+        // Absorb resolved in-flight sources; park on the first unresolved
+        // one. This precedes the fetch so a resumed step replays in full.
+        for r in inst.src_regs() {
+            if let Some(&slot) = self.pending.get(&r.0) {
+                match sh.arena.completion(slot) {
+                    Some(done) => {
+                        self.pending.remove(&r.0);
+                        sh.arena.free(slot);
+                        self.write_reg(r.0, done);
+                        self.last_completion = self.last_completion.max(done);
+                    }
+                    None => {
+                        sh.arena.set_awaited(slot);
+                        return false;
+                    }
+                }
+            }
+        }
+
+        // Instruction fetch.
+        let fetch = self.icache.access(u64::from(inst.pc) * 4, false);
+        let fetch_extra = if fetch.hit {
+            0
+        } else {
+            self.ifetch_misses += 1;
+            self.ifetch_miss_latency
+        };
+
+        // Operand readiness (all sources resolved by now).
+        let mut ready = 0u64;
+        for r in inst.src_regs() {
+            ready = ready.max(self.reg_time.get(r.0 as usize).copied().unwrap_or(0));
+        }
+
+        let mut issue = self.cycle.max(ready) + fetch_extra;
+        if issue == self.cycle && self.slots_used >= self.issue_width {
+            issue += 1;
+        }
+        // All requests of this step carry the step-start cycle: the
+        // reference engine's heap key when it popped this PE for this step.
+        let key_cycle = self.cycle;
+        let mut in_flight = None;
+        let completion = match inst.op {
+            Opcode::Load => {
+                let line = inst.addr & self.line_mask;
+                let acc = self.dcache.access(inst.addr, false);
+                if let Some(wb) = acc.writeback {
+                    self.emit(sh, key_cycle, wb, true, None, issue);
+                }
+                if acc.hit {
+                    issue + self.hit_latency
+                } else {
+                    let slot = sh.arena.alloc(self.idx);
+                    self.emit(sh, key_cycle, line, false, Some(slot), issue);
+                    in_flight = Some(slot);
+                    0
+                }
+            }
+            Opcode::Store => {
+                let line = inst.addr & self.line_mask;
+                let acc = self.dcache.access(inst.addr, true);
+                if let Some(wb) = acc.writeback {
+                    self.emit(sh, key_cycle, wb, true, None, issue);
+                }
+                if !acc.hit {
+                    self.emit(sh, key_cycle, line, false, None, issue);
+                }
+                issue + 1
+            }
+            op => issue + exec_latency(op),
+        };
+
+        if let Some(dst) = inst.dst_reg() {
+            // A new def shadows any in-flight load on the same id; its
+            // completion still bounds the makespan, so orphan (or fold) it.
+            if let Some(old) = self.pending.remove(&dst.0) {
+                match sh.arena.completion(old) {
+                    Some(done) => {
+                        sh.arena.free(old);
+                        self.last_completion = self.last_completion.max(done);
+                    }
+                    None => self.orphans.push(old),
+                }
+            }
+            match in_flight {
+                Some(slot) => {
+                    self.pending.insert(dst.0, slot);
+                }
+                None => self.write_reg(dst.0, completion),
+            }
+        } else if let Some(slot) = in_flight {
+            self.orphans.push(slot);
+        }
+        self.compute_energy_pj += sh.energy.op_energy_pj(inst.op);
+        self.instructions += 1;
+        if issue == self.cycle {
+            self.slots_used += 1;
+        } else {
+            self.cycle = issue;
+            self.slots_used = 1;
+        }
+        if self.slots_used >= self.issue_width {
+            self.cycle += 1;
+            self.slots_used = 0;
+        }
+        if in_flight.is_none() {
+            self.last_completion = self.last_completion.max(completion);
+        }
+        true
+    }
+
+    #[inline]
+    fn emit(
+        &mut self,
+        sh: &mut EngineShared<'_>,
+        key_cycle: u64,
+        addr: u64,
+        write: bool,
+        slot: Option<u32>,
+        issue: u64,
+    ) {
+        let (vault, bank, row) = sh.geometry.map(addr);
+        let seq = self.seq;
+        self.seq += 1;
+        sh.queues.push(
+            vault,
+            QueuedReq {
+                key: ReqKey {
+                    cycle: key_cycle,
+                    pe: self.idx,
+                    seq,
+                },
+                now: issue + self.xbar_latency,
+                bank: bank as u32,
+                row,
+                write,
+                slot,
+            },
+        );
+    }
+
+    #[inline]
+    fn write_reg(&mut self, reg: u32, at: u64) {
+        let i = reg as usize;
+        if i >= self.reg_time.len() {
+            self.reg_time.resize(i + 1, 0);
+        }
+        self.reg_time[i] = at;
+    }
+
+    /// Folds the completions of never-consumed loads into the makespan and
+    /// releases their slots. Call after the final drain resolved everything.
+    pub fn sweep(&mut self, arena: &mut LoadArena) {
+        for (_, slot) in self.pending.drain() {
+            let done = arena
+                .completion(slot)
+                .expect("final drain resolves every in-flight load");
+            self.last_completion = self.last_completion.max(done);
+            arena.free(slot);
+        }
+        for slot in self.orphans.drain(..) {
+            let done = arena
+                .completion(slot)
+                .expect("final drain resolves every orphaned load");
+            self.last_completion = self.last_completion.max(done);
+            arena.free(slot);
+        }
+    }
+
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    pub fn finish_cycle(&self) -> u64 {
+        self.last_completion
+    }
+
+    pub fn dcache_stats(&self) -> CacheStats {
+        self.dcache.stats()
+    }
+
+    pub fn icache_stats(&self) -> CacheStats {
+        self.icache.stats()
+    }
+
+    pub fn compute_energy_pj(&self) -> f64 {
+        self.compute_energy_pj
+    }
+}

@@ -1,0 +1,176 @@
+//! Batched per-vault DRAM event queues.
+//!
+//! Each vault owns a min-heap of pre-routed requests ordered by [`ReqKey`]
+//! — the order the reference engine would have issued them. The engine
+//! drains every queue independently up to the cross-vault synchronization
+//! horizon: since vault state is private to the vault and the DRAM counters
+//! are commutative sums, replaying each vault's key-ordered subsequence
+//! produces exactly the state and statistics of the globally interleaved
+//! replay, one vault at a time, with no heap traffic between requests of
+//! different vaults.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::components::dram::DramModel;
+
+use super::arena::ReqKey;
+
+/// One routed memory request, waiting in its vault's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct QueuedReq {
+    /// Global replay-order key; the queue is a min-heap on this.
+    pub key: ReqKey,
+    /// Cycle the request reaches the vault controller (issue + crossbar).
+    pub now: u64,
+    /// Pre-mapped bank within the vault.
+    pub bank: u32,
+    /// Pre-mapped row.
+    pub row: u64,
+    /// Write (store fill write-backs and dirty evictions) vs. read.
+    pub write: bool,
+    /// Arena slot to resolve with the completion cycle; `None` for requests
+    /// whose completion nobody observes (write-backs, store fills).
+    pub slot: Option<u32>,
+}
+
+/// Tally of one drain pass, for the `nmc_sim.vault_batch.*` counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DrainTally {
+    /// Vault batches that served at least one request.
+    pub drains: u64,
+    /// Requests served.
+    pub events: u64,
+}
+
+/// All vault queues plus the touched-vault worklist (so drains skip idle
+/// vaults entirely — most kernels concentrate traffic on a few vaults at a
+/// time).
+#[derive(Debug, Default)]
+pub(crate) struct VaultQueues {
+    heaps: Vec<BinaryHeap<Reverse<QueuedReq>>>,
+    touched: Vec<u32>,
+    in_touched: Vec<bool>,
+}
+
+impl VaultQueues {
+    /// Prepares `num_vaults` empty queues, reusing prior allocations.
+    pub fn reset_to(&mut self, num_vaults: usize) {
+        for h in &mut self.heaps {
+            h.clear();
+        }
+        self.heaps.resize_with(num_vaults, BinaryHeap::new);
+        self.heaps.truncate(num_vaults);
+        self.touched.clear();
+        self.in_touched.clear();
+        self.in_touched.resize(num_vaults, false);
+    }
+
+    /// Enqueues a routed request on its vault.
+    #[inline]
+    pub fn push(&mut self, vault: usize, req: QueuedReq) {
+        if !self.in_touched[vault] {
+            self.in_touched[vault] = true;
+            self.touched.push(vault as u32);
+        }
+        self.heaps[vault].push(Reverse(req));
+    }
+
+    /// Drains every touched vault's requests with key strictly below
+    /// `horizon`, in per-vault key order, applying each to the DRAM model.
+    /// `on_done(req, completion)` runs for each served request (the engine
+    /// resolves arena slots there). Vaults drained empty leave the touched
+    /// list.
+    pub fn drain_below(
+        &mut self,
+        horizon: ReqKey,
+        dram: &mut DramModel,
+        mut on_done: impl FnMut(&QueuedReq, u64),
+    ) -> DrainTally {
+        let mut tally = DrainTally::default();
+        let mut i = 0;
+        while i < self.touched.len() {
+            let v = self.touched[i] as usize;
+            let heap = &mut self.heaps[v];
+            let mut served = 0u64;
+            while heap.peek().is_some_and(|Reverse(r)| r.key < horizon) {
+                let Reverse(req) = heap.pop().expect("peeked");
+                let done = dram.access_mapped(v, req.bank as usize, req.row, req.write, req.now);
+                on_done(&req, done);
+                served += 1;
+            }
+            if served > 0 {
+                tally.drains += 1;
+                tally.events += served;
+            }
+            if heap.is_empty() {
+                self.in_touched[v] = false;
+                self.touched.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArchConfig;
+
+    fn req(cycle: u64, pe: u32, seq: u64) -> QueuedReq {
+        QueuedReq {
+            key: ReqKey { cycle, pe, seq },
+            now: cycle,
+            bank: 0,
+            row: 0,
+            write: false,
+            slot: None,
+        }
+    }
+
+    #[test]
+    fn drains_in_key_order_below_horizon_only() {
+        let cfg = ArchConfig::paper_default();
+        let mut dram = DramModel::new(&cfg);
+        let mut q = VaultQueues::default();
+        q.reset_to(cfg.vaults);
+        q.push(0, req(5, 1, 0));
+        q.push(0, req(3, 0, 0));
+        q.push(0, req(5, 0, 2));
+        q.push(1, req(9, 2, 0));
+        let mut order = Vec::new();
+        let horizon = ReqKey {
+            cycle: 5,
+            pe: 1,
+            seq: 0,
+        };
+        let tally = q.drain_below(horizon, &mut dram, |r, _| order.push(r.key));
+        assert_eq!(
+            order,
+            vec![
+                ReqKey {
+                    cycle: 3,
+                    pe: 0,
+                    seq: 0
+                },
+                ReqKey {
+                    cycle: 5,
+                    pe: 0,
+                    seq: 2
+                },
+            ],
+            "key (5,1,0) and vault 1's (9,2,0) are at/above the horizon"
+        );
+        assert_eq!(tally.events, 2);
+        assert_eq!(tally.drains, 1, "only vault 0 served requests");
+
+        // Final drain takes the rest; emptied vaults leave the worklist.
+        let rest = q.drain_below(ReqKey::MAX, &mut dram, |_, _| {});
+        assert_eq!(rest.events, 2);
+        assert_eq!(rest.drains, 2);
+        assert!(q.touched.is_empty());
+        assert_eq!(dram.stats().accesses(), 4);
+    }
+}

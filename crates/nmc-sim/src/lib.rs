@@ -15,12 +15,20 @@
 //!
 //! # Organization
 //!
+//! The crate splits along the engine/component seam: `components` holds the
+//! hardware state-and-timing models, `engine` decides who accesses what in
+//! which order (and contains both the phase-split engine and the reference
+//! interleaved loop it is bit-exact against).
+//!
 //! - [`ArchConfig`] — the architectural design configuration `a`, including
 //!   the Table 1 architectural feature encoding for the ML model,
 //! - [`cache`] — set-associative write-back/write-allocate LRU caches,
 //! - [`dram`] — per-vault bank timing (closed- or open-row) and counters,
 //! - [`pe`] — the in-order single-issue core model,
 //! - [`NmcSystem`] — the full system: runs a [`napel_ir::MultiTrace`],
+//! - [`SimEngine`] — the reusable phase-split engine (per-PE frontends,
+//!   batched per-vault event queues, arena-allocated in-flight loads) for
+//!   callers that simulate many runs and want zero steady-state allocation,
 //! - [`energy`] — the per-event energy model,
 //! - [`SimReport`] — results.
 //!
@@ -44,30 +52,30 @@
 //! assert!(report.ipc() > 0.0 && report.energy_joules() > 0.0);
 //! ```
 
-pub mod cache;
+mod components;
 mod config;
-pub mod dram;
-pub mod energy;
-pub mod link;
-pub mod pe;
+mod engine;
 mod report;
-mod system;
+
+pub use components::{cache, dram, energy, link, pe};
 
 pub use config::{ArchConfig, DramTiming, RowPolicy};
+pub use engine::{NmcSystem, SimEngine};
 pub use link::LinkConfig;
 pub use report::SimReport;
-pub use system::NmcSystem;
 
 // The campaign engine in `napel-core` simulates from multiple worker
 // threads; the simulator's public surface must stay shareable (no interior
 // mutability — `NmcSystem::run` takes `&self` and builds all per-run state
-// locally).
+// locally; the reusable `SimEngine` is `Send` so each worker owns one).
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
     assert_send_sync::<ArchConfig>();
     assert_send_sync::<DramTiming>();
     assert_send_sync::<RowPolicy>();
     assert_send_sync::<LinkConfig>();
     assert_send_sync::<SimReport>();
     assert_send_sync::<NmcSystem>();
+    assert_send::<SimEngine>();
 };
