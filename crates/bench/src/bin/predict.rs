@@ -18,6 +18,12 @@
 //! the derived time/energy/EDP for `--instructions` offloaded
 //! instructions, plus the forest's geometric per-tree spread (one
 //! geometric standard deviation; the band is `[IPC/σ, IPC·σ]`).
+//!
+//! Every operational failure — missing flags, an unreadable or corrupt
+//! bundle, malformed input rows, a schema mismatch — exits with status 1
+//! and a single `predict: <what went wrong>` diagnostic on stderr, so
+//! scripts wrapping this binary get machine-checkable failures instead
+//! of panic backtraces.
 
 use napel_bench::Options;
 use napel_core::experiments::fig4::sample_arch_configs;
@@ -28,31 +34,37 @@ use napel_workloads::Workload;
 
 /// Parses raw feature rows: whitespace- or comma-separated floats, one
 /// row per line, `#` starts a comment.
-fn parse_rows(text: &str) -> Vec<Vec<f64>> {
-    text.lines()
-        .map(|line| line.split('#').next().unwrap_or(""))
-        .filter(|line| !line.trim().is_empty())
-        .map(|line| {
-            line.split(|c: char| c == ',' || c.is_whitespace())
-                .filter(|tok| !tok.is_empty())
-                .map(|tok| {
-                    tok.parse()
-                        .unwrap_or_else(|_| panic!("`{tok}` is not a number"))
-                })
-                .collect()
-        })
-        .collect()
+fn parse_rows(text: &str, source: &str) -> Result<Vec<Vec<f64>>, String> {
+    let mut rows = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("");
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut row = Vec::new();
+        for tok in line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|tok| !tok.is_empty())
+        {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| format!("{source}:{}: `{tok}` is not a number", lineno + 1))?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(format!("{source}: no feature rows (only blanks/comments)"));
+    }
+    Ok(rows)
 }
 
-fn main() {
-    let opts = Options::from_env();
-    opts.init_telemetry();
-
+fn run(opts: &Options) -> Result<(), String> {
     let path = opts
         .model_in
         .clone()
-        .expect("predict needs --model-in <bundle.napel>");
-    let model = TrainedNapel::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        .ok_or("predict needs --model-in <bundle.napel>")?;
+    let model = TrainedNapel::load(&path).map_err(|e| e.to_string())?;
     let prov = model.provenance();
     napel_telemetry::info!(
         "loaded {path}: {} features, trained on {} rows of [{}] (seed {}, hash {:016x})",
@@ -65,13 +77,18 @@ fn main() {
 
     let rows: Vec<Vec<f64>> = if let Some(input) = &opts.input {
         let text = std::fs::read_to_string(input)
-            .unwrap_or_else(|e| panic!("cannot read --input `{input}`: {e}"));
-        parse_rows(&text)
+            .map_err(|e| format!("cannot read --input `{input}`: {e}"))?;
+        parse_rows(&text, input)?
     } else if let Some(name) = &opts.workload {
         let workload = Workload::ALL
             .into_iter()
             .find(|w| w.name() == name)
-            .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+            .ok_or_else(|| {
+                format!(
+                    "unknown workload `{name}` (expected one of: {})",
+                    Workload::ALL.map(|w| w.name()).join(" ")
+                )
+            })?;
         napel_telemetry::info!(
             "profiling {name} at its test input, {} sampled architectures...",
             opts.configs
@@ -83,10 +100,10 @@ fn main() {
             .map(|arch| combined_features(&profile, arch))
             .collect()
     } else {
-        panic!("predict needs --input FILE or --workload NAME");
+        return Err("predict needs --input FILE or --workload NAME".to_string());
     };
 
-    let predictions = model.predict_batch(&rows).unwrap_or_else(|e| panic!("{e}"));
+    let predictions = model.predict_batch(&rows).map_err(|e| e.to_string())?;
 
     println!(
         "Predictions for {} rows ({} offloaded instructions):\n",
@@ -108,6 +125,16 @@ fn main() {
             pred.edp(opts.instructions),
             spread
         );
+    }
+    Ok(())
+}
+
+fn main() {
+    let opts = Options::from_env();
+    opts.init_telemetry();
+    if let Err(message) = run(&opts) {
+        eprintln!("predict: {message}");
+        std::process::exit(1);
     }
     opts.finish_telemetry();
 }

@@ -860,6 +860,14 @@ fn run_one(
             Err(panic_message) => {
                 if attempts <= opts.retries {
                     napel_telemetry::counter!("campaign.jobs.retried", 1);
+                    // Back off before the retry: the faults retries are
+                    // for (transient resource exhaustion) need breathing
+                    // room, and the schedule is deterministic in the
+                    // attempt number so the campaign stays replayable.
+                    let delay = opts.backoff.delay(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
                     continue;
                 }
                 JobFailureKind::Panic(panic_message)

@@ -35,6 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -80,6 +81,60 @@ impl FaultPolicy {
     }
 }
 
+/// A deterministic exponential backoff schedule with a cap: attempt `n`
+/// waits `base · 2ⁿ`, saturating at `cap`. No jitter — the same attempt
+/// number always yields the same delay, which keeps retried campaigns and
+/// supervised server restarts replayable (the same determinism contract
+/// as the rest of this module).
+///
+/// Shared by the two retry paths in the workspace: the campaign's
+/// panicking-job retries ([`CampaignOptions::backoff`]) and `napel-serve`'s
+/// worker-restart supervision, so a fault storm backs off identically in
+/// both runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry (attempt 0).
+    pub base: Duration,
+    /// Upper bound no attempt ever exceeds.
+    pub cap: Duration,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and doubling up to `cap`.
+    pub const fn new(base: Duration, cap: Duration) -> Backoff {
+        Backoff { base, cap }
+    }
+
+    /// A schedule that never waits (the pre-backoff immediate-retry
+    /// behavior, and the right choice for unit tests).
+    pub const fn none() -> Backoff {
+        Backoff::new(Duration::ZERO, Duration::ZERO)
+    }
+
+    /// The delay before retry `attempt` (0-based): `base · 2^attempt`,
+    /// saturating at `cap`. Overflow-safe for any attempt number.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        // 2^attempt saturates well before Duration does: past 2^63 the
+        // product exceeds any representable cap.
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base
+            .saturating_mul(factor.min(u32::MAX as u64) as u32)
+            .min(self.cap)
+    }
+}
+
+impl Default for Backoff {
+    /// 25 ms doubling to a 2 s cap: long enough to ride out a transient
+    /// (file-system hiccup, memory pressure), short enough that a
+    /// single-retry campaign job costs milliseconds.
+    fn default() -> Backoff {
+        Backoff::new(Duration::from_millis(25), Duration::from_secs(2))
+    }
+}
+
 /// Options governing a supervised campaign run: fault policy, retry
 /// budget, checkpointing, and (for tests and benches) fault injection.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -92,6 +147,12 @@ pub struct CampaignOptions {
     /// campaign is replayable. Invalid labels are never retried — a
     /// deterministic simulator returns the same bad label every time.
     pub retries: u32,
+    /// Delay schedule between a panicking job's attempts. Retrying
+    /// immediately is the wrong move for the faults retries exist for
+    /// (transient resource exhaustion); the default backs off 25 ms,
+    /// 50 ms, 100 ms, ... capped at 2 s. Use [`Backoff::none`] to restore
+    /// immediate retries (e.g. in unit tests).
+    pub backoff: Backoff,
     /// Append-only checkpoint journal path. When set, every completed
     /// job's row is journaled, and jobs whose descriptor hash is already
     /// present are restored without recomputation — which is what lets a
@@ -162,6 +223,12 @@ impl CampaignOptions {
     /// Replaces the retry budget.
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
+        self
+    }
+
+    /// Replaces the retry backoff schedule.
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
         self
     }
 
@@ -425,6 +492,38 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backoff_schedule_doubles_and_caps() {
+        let b = Backoff::new(Duration::from_millis(25), Duration::from_secs(2));
+        assert_eq!(b.delay(0), Duration::from_millis(25));
+        assert_eq!(b.delay(1), Duration::from_millis(50));
+        assert_eq!(b.delay(2), Duration::from_millis(100));
+        assert_eq!(b.delay(3), Duration::from_millis(200));
+        // 25ms * 2^7 = 3.2s, past the cap.
+        assert_eq!(b.delay(7), Duration::from_secs(2));
+        // Deep attempt numbers saturate instead of overflowing.
+        assert_eq!(b.delay(63), Duration::from_secs(2));
+        assert_eq!(b.delay(u32::MAX), Duration::from_secs(2));
+        // The schedule is deterministic: same attempt, same delay.
+        assert_eq!(b.delay(4), b.delay(4));
+    }
+
+    #[test]
+    fn backoff_none_never_waits() {
+        let b = Backoff::none();
+        for attempt in [0, 1, 10, 63, u32::MAX] {
+            assert_eq!(b.delay(attempt), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn default_options_carry_the_default_schedule() {
+        let opts = CampaignOptions::default();
+        assert_eq!(opts.backoff, Backoff::default());
+        let opts = opts.with_backoff(Backoff::none());
+        assert_eq!(opts.backoff, Backoff::none());
+    }
 
     #[test]
     fn policy_specs_parse() {

@@ -337,6 +337,21 @@ impl TrainedNapel {
     /// [`NapelError::FeatureSchema`] if the row has the wrong length or a
     /// non-finite value.
     pub fn predict_row(&self, x: &[f64]) -> Result<Prediction, NapelError> {
+        let freq_ghz = self.validate_row(x)?;
+        Ok(Prediction {
+            ipc: self.perf.predict_one(x),
+            energy_per_inst_pj: self.energy.predict_one(x),
+            freq_ghz,
+        })
+    }
+
+    /// Validates one raw combined feature row against this model's schema
+    /// (length and finiteness), returning the row's `arch.freq_ghz` value.
+    ///
+    /// # Errors
+    ///
+    /// [`NapelError::FeatureSchema`] naming the discrepancy.
+    fn validate_row(&self, x: &[f64]) -> Result<f64, NapelError> {
         if x.len() != self.feature_names.len() {
             return Err(NapelError::FeatureSchema {
                 what: format!(
@@ -354,43 +369,55 @@ impl TrainedNapel {
                 ),
             });
         }
-        let freq_ghz = self
-            .feature_names
+        self.feature_names
             .iter()
             .position(|n| n == "arch.freq_ghz")
             .map(|i| x[i])
             .ok_or_else(|| NapelError::FeatureSchema {
                 what: "schema lacks `arch.freq_ghz`, cannot derive time/EDP".to_string(),
-            })?;
-        Ok(Prediction {
-            ipc: self.perf.predict_one(x),
-            energy_per_inst_pj: self.energy.predict_one(x),
-            freq_ghz,
-        })
+            })
     }
 
     /// Batch inference over raw feature rows: each row yields a
     /// [`Prediction`] plus the geometric per-tree uncertainty factor of
     /// the IPC forest (as in [`TrainedNapel::predict_with_uncertainty`]).
-    /// Emits the `model.predict_batch` telemetry span and the
-    /// `model.predictions` counter.
+    /// Every row is validated before any is scored, then both forests run
+    /// through the batch entry point ([`Regressor::predict_many`]) — this
+    /// is the hot path of `napel-serve`, which turns queued requests into
+    /// exactly these calls. Emits the `model.predict_batch` telemetry span
+    /// and the `model.predictions` counter.
     ///
     /// # Errors
     ///
-    /// [`NapelError::FeatureSchema`] on the first malformed row.
+    /// [`NapelError::FeatureSchema`] on the first malformed row (before
+    /// anything is scored).
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<(Prediction, f64)>, NapelError> {
         let telemetry = napel_telemetry::global();
         let _span = telemetry
             .span("model.predict_batch")
             .attr("rows", rows.len());
+        let freqs = rows
+            .iter()
+            .map(|x| self.validate_row(x))
+            .collect::<Result<Vec<_>, NapelError>>()?;
+        let ipc = self.perf.predict_many(rows);
+        let energy = self.energy.predict_many(rows);
         let out = rows
             .iter()
-            .map(|x| {
-                let pred = self.predict_row(x)?;
+            .zip(freqs)
+            .zip(ipc.into_iter().zip(energy))
+            .map(|((x, freq_ghz), (ipc, energy_per_inst_pj))| {
                 let spread = self.perf.inner().prediction_std(x).exp();
-                Ok((pred, spread))
+                (
+                    Prediction {
+                        ipc,
+                        energy_per_inst_pj,
+                        freq_ghz,
+                    },
+                    spread,
+                )
             })
-            .collect::<Result<Vec<_>, NapelError>>()?;
+            .collect();
         telemetry.counter("model.predictions", rows.len() as u64);
         Ok(out)
     }

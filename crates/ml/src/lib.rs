@@ -84,6 +84,20 @@ pub trait Regressor {
             .map(|i| self.predict_one(data.row(i)))
             .collect()
     }
+
+    /// Predicts the targets for a batch of raw feature rows — the
+    /// inference-service entry point ([`Dataset`] carries labels; a
+    /// server scoring live requests has none). The default loops over
+    /// [`Regressor::predict_one`]; implementations with a cheaper batch
+    /// path may override.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if a row has the wrong dimensionality —
+    /// callers serving untrusted rows must validate lengths first.
+    fn predict_many(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|x| self.predict_one(x)).collect()
+    }
 }
 
 impl<R: Regressor + ?Sized> Regressor for Box<R> {

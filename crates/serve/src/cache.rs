@@ -1,0 +1,155 @@
+//! Per-worker decoded-model cache.
+//!
+//! Each worker shard owns one [`ModelCache`] — no sharing, no locks.
+//! Requests are routed to shards by hashing the model key, so a given
+//! model's working set concentrates on one shard and its cache.
+//!
+//! Entries are keyed by the **content hash** of the `.napel` bundle, not
+//! its path: overwriting a bundle with a retrained model is picked up on
+//! the next request (a stat revalidation notices the changed
+//! mtime/length and rehashes), while re-requesting an unchanged bundle
+//! costs one `stat` call. Decoded models are held behind `Arc` so an
+//! eviction cannot invalidate predictions already in flight.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::SystemTime;
+
+use napel_core::model::TrainedNapel;
+use napel_core::NapelError;
+
+/// 64-bit FNV-1a. Fast, dependency-free, and plenty for cache identity —
+/// an adversary who can forge bundle collisions can already overwrite
+/// the bundle files themselves.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// How a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Model already decoded (stat revalidation only).
+    Hit,
+    /// Bundle read and decoded from disk.
+    Miss {
+        /// Whether satisfying the miss evicted a colder model.
+        evicted: bool,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct FileStamp {
+    mtime: Option<SystemTime>,
+    len: u64,
+}
+
+/// LRU cache mapping model keys to decoded [`TrainedNapel`] bundles.
+pub struct ModelCache {
+    dir: PathBuf,
+    capacity: usize,
+    /// key → (file stamp at hash time, content hash). Avoids rereading
+    /// unchanged bundles just to recompute their identity.
+    stamps: HashMap<String, (FileStamp, u64)>,
+    /// Most-recently-used first. Linear scans are fine: capacity is
+    /// single digits and entries are compared by `u64`.
+    entries: Vec<(u64, Arc<TrainedNapel>)>,
+}
+
+impl ModelCache {
+    /// Creates a cache over bundles in `dir`, holding at most
+    /// `capacity` decoded models.
+    pub fn new(dir: impl Into<PathBuf>, capacity: usize) -> ModelCache {
+        ModelCache {
+            dir: dir.into(),
+            capacity: capacity.max(1),
+            stamps: HashMap::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The bundle path a model key resolves to. Keys are validated at
+    /// the protocol layer ([`crate::protocol::valid_model_key`]) to a
+    /// single path component, so this cannot escape `dir`.
+    pub fn bundle_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.napel"))
+    }
+
+    /// Fetches the decoded model for `key`, decoding and caching on miss.
+    ///
+    /// # Errors
+    ///
+    /// [`NapelError::Artifact`] if the bundle is missing, unreadable, or
+    /// fails decode validation.
+    pub fn get(&mut self, key: &str) -> Result<(Arc<TrainedNapel>, Lookup), NapelError> {
+        let path = self.bundle_path(key);
+        let stamp = stat(&path)?;
+        if let Some(&(cached_stamp, hash)) = self.stamps.get(key) {
+            if cached_stamp == stamp {
+                if let Some(pos) = self.entries.iter().position(|(h, _)| *h == hash) {
+                    let entry = self.entries.remove(pos);
+                    let model = Arc::clone(&entry.1);
+                    self.entries.insert(0, entry);
+                    return Ok((model, Lookup::Hit));
+                }
+            }
+        }
+
+        let bytes = std::fs::read(&path).map_err(|e| artifact_error(&path, &e.to_string()))?;
+        let hash = fnv1a(&bytes);
+        self.stamps.insert(key.to_string(), (stamp, hash));
+
+        // The retrained bundle may hash to a model some other key already
+        // decoded; identity is content, not name.
+        if let Some(pos) = self.entries.iter().position(|(h, _)| *h == hash) {
+            let entry = self.entries.remove(pos);
+            let model = Arc::clone(&entry.1);
+            self.entries.insert(0, entry);
+            return Ok((model, Lookup::Hit));
+        }
+
+        let model = Arc::new(TrainedNapel::load(&path)?);
+        let evicted = self.entries.len() >= self.capacity;
+        if evicted {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (hash, Arc::clone(&model)));
+        Ok((model, Lookup::Miss { evicted }))
+    }
+
+    /// Decoded models currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn stat(path: &Path) -> Result<FileStamp, NapelError> {
+    let meta = std::fs::metadata(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            artifact_error(path, "no such model bundle")
+        } else {
+            artifact_error(path, &e.to_string())
+        }
+    })?;
+    Ok(FileStamp {
+        mtime: meta.modified().ok(),
+        len: meta.len(),
+    })
+}
+
+fn artifact_error(path: &Path, what: &str) -> NapelError {
+    NapelError::Artifact {
+        path: path.display().to_string(),
+        what: what.to_string(),
+    }
+}

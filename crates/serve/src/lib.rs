@@ -1,0 +1,55 @@
+//! `napel-serve` — a supervised, overload-tolerant inference server over
+//! trained NAPEL model bundles.
+//!
+//! The rest of the workspace answers "how accurately can an ensemble
+//! model predict NMC performance?" (train → tune → evaluate). This crate
+//! answers the operational follow-up: once a [`TrainedNapel`] bundle
+//! exists, how do you *serve* it — many clients, mixed models, partial
+//! failures — without ever losing an accepted request?
+//!
+//! [`TrainedNapel`]: napel_core::model::TrainedNapel
+//!
+//! Architecture (one box per thread kind):
+//!
+//! ```text
+//!  clients ──TCP──▶ accept ──▶ reader ─┬─ inline: ping/stats/shutdown
+//!                                      └─ admit ─▶ shard queue (bounded)
+//!                                                      │ pop batch
+//!                        writer ◀─ responses ◀── worker shard (supervised)
+//!                                                      │ LRU
+//!                                                `.napel` bundles
+//! ```
+//!
+//! Robustness properties, each exercised by tests:
+//!
+//! - **Panic isolation** ([`worker`]): a panicking request kills one
+//!   worker *incarnation*, never the process. The supervisor answers
+//!   everything the dead incarnation had claimed, restarts it after a
+//!   deterministic exponential backoff ([`napel_core::fault::Backoff`]),
+//!   and trips a circuit breaker if restarts storm.
+//! - **Admission control** ([`queue`], [`server`]): queues are bounded;
+//!   overload yields immediate typed `err ... shed` responses instead of
+//!   unbounded latency. Queued requests past their deadline are dropped
+//!   with `err ... deadline` rather than computed late.
+//! - **Hostile input** ([`protocol`]): line caps enforced while reading,
+//!   typed errors for garbage, model keys that cannot escape the bundle
+//!   directory, read deadlines against slow-loris clients.
+//! - **Clean drain** ([`server`]): shutdown stops admission, finishes
+//!   every accepted request, flushes every response, joins every thread.
+//!
+//! The binaries: `serve` hosts the server; `loadgen` drives it with
+//! steady, overload, and chaos workloads and writes a latency report.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+pub mod worker;
+
+pub use client::ServeClient;
+pub use protocol::{ErrorKind, Request, Response, MAX_LINE_BYTES, PROTOCOL_HEADER};
+pub use server::{Server, ServerConfig};
+pub use stats::ServeStats;
+pub use worker::WorkerConfig;

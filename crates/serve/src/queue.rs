@@ -1,0 +1,239 @@
+//! Bounded per-shard work queues with admission control.
+//!
+//! Each worker shard owns one [`ShardQueue`]. Connection threads push
+//! jobs; the shard's worker pops them in batches. The queue is bounded:
+//! a push against a full queue fails immediately with
+//! [`PushError::Full`] so the connection thread can answer `err ... shed`
+//! instead of building an invisible backlog — under overload the server
+//! degrades by refusing work it cannot finish in time, never by letting
+//! accepted work silently rot.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::protocol::Response;
+
+/// What a queued request wants the worker to do.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Score one feature row against the named model bundle.
+    Predict {
+        /// Model key (bundle file stem under the model directory).
+        model: String,
+        /// Feature row, already parsed.
+        row: Vec<f64>,
+    },
+    /// Chaos: panic inside the worker (only parsed with `--chaos`).
+    Panic,
+    /// Chaos: hold the worker hostage for this long (overload fuel).
+    Stall(Duration),
+}
+
+/// One admitted request, en route to a worker shard.
+#[derive(Debug)]
+pub struct Job {
+    /// Client-chosen request id, echoed on the response line.
+    pub id: String,
+    /// The work itself.
+    pub kind: JobKind,
+    /// When the connection thread admitted the job (deadline anchor and
+    /// latency-measurement start).
+    pub enqueued: Instant,
+    /// Channel back to the owning connection's writer thread.
+    pub reply: std::sync::mpsc::Sender<String>,
+}
+
+impl Job {
+    /// Sends a response line back to the client. A send failure means
+    /// the client hung up; that is their prerogative, not an error.
+    pub fn respond(&self, response: &Response) {
+        let _ = self.reply.send(response.render());
+    }
+
+    /// Time spent since admission.
+    pub fn age(&self) -> Duration {
+        self.enqueued.elapsed()
+    }
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue at its high-water mark — shed the request.
+    Full {
+        /// Depth at refusal time (== capacity), for the error detail.
+        depth: usize,
+    },
+    /// Queue closed (server draining, or the shard's breaker tripped).
+    Closed,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Bounded MPSC job queue for one worker shard.
+pub struct ShardQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    /// Creates an empty queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> ShardQueue {
+        ShardQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits a job, or hands it back with the reason it cannot run.
+    pub fn push(&self, job: Job) -> Result<(), (Job, PushError)> {
+        let mut state = self.state.lock().expect("shard queue not poisoned");
+        if state.closed {
+            return Err((job, PushError::Closed));
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err((
+                job,
+                PushError::Full {
+                    depth: state.jobs.len(),
+                },
+            ));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available, then takes up to `max` jobs.
+    /// Returns `None` once the queue is closed **and** empty — the
+    /// worker's signal to finish its current incarnation cleanly.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().expect("shard queue not poisoned");
+        loop {
+            if !state.jobs.is_empty() {
+                let take = state.jobs.len().min(max.max(1));
+                return Some(state.jobs.drain(..take).collect());
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("shard queue not poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// and blocked workers wake to drain what remains.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("shard queue not poisoned");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Empties the queue immediately, returning the stranded jobs so the
+    /// caller can answer them (breaker trip: nothing will ever run them).
+    pub fn drain_now(&self) -> Vec<Job> {
+        let mut state = self.state.lock().expect("shard queue not poisoned");
+        state.jobs.drain(..).collect()
+    }
+
+    /// Current depth (approximate the instant it returns).
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("shard queue not poisoned")
+            .jobs
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn job(id: &str) -> (Job, mpsc::Receiver<String>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                id: id.to_string(),
+                kind: JobKind::Panic,
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn push_refuses_beyond_capacity() {
+        let q = ShardQueue::new(2);
+        let (a, _ra) = job("a");
+        let (b, _rb) = job("b");
+        let (c, _rc) = job("c");
+        assert!(q.push(a).is_ok());
+        assert!(q.push(b).is_ok());
+        match q.push(c) {
+            Err((j, PushError::Full { depth: 2 })) => assert_eq!(j.id, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn pop_batch_takes_at_most_max_in_fifo_order() {
+        let q = ShardQueue::new(8);
+        for id in ["a", "b", "c"] {
+            let (j, _r) = job(id);
+            q.push(j).unwrap();
+        }
+        let batch = q.pop_batch(2).unwrap();
+        assert_eq!(
+            batch.iter().map(|j| j.id.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        let rest = q.pop_batch(2).unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].id, "c");
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_releases_blocked_workers() {
+        let q = Arc::new(ShardQueue::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4))
+        };
+        // Give the waiter a moment to block, then close.
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(waiter.join().unwrap().is_none());
+        let (j, _r) = job("late");
+        match q.push(j) {
+            Err((_, PushError::Closed)) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_still_drains_pending_jobs() {
+        let q = ShardQueue::new(4);
+        let (j, _r) = job("pending");
+        q.push(j).unwrap();
+        q.close();
+        let batch = q.pop_batch(4).unwrap();
+        assert_eq!(batch[0].id, "pending");
+        assert!(q.pop_batch(4).is_none());
+    }
+}

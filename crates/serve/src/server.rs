@@ -1,0 +1,517 @@
+//! The server proper: accept loop, connection threads, shard routing,
+//! and the clean-drain path.
+//!
+//! Thread topology:
+//!
+//! ```text
+//! accept thread ──spawns──▶ connection thread (reader)  × N clients
+//!                               │        └─spawns─▶ writer thread
+//!                               ▼ push
+//!                        shard queues ◀──pop── worker supervisor × W shards
+//! ```
+//!
+//! Each connection gets a reader thread (owns the socket's read half and
+//! the protocol state machine) and a writer thread fed by an mpsc
+//! channel of response lines. Worker shards hold clones of that channel
+//! sender inside queued [`Job`]s, which is what makes out-of-order,
+//! batched responses safe — and what makes drain ordering simple: a
+//! writer exits exactly when every sender (reader + all queued jobs) is
+//! gone, so joining workers before connection threads guarantees every
+//! accepted request's response is flushed before [`Server::drain`]
+//! returns.
+//!
+//! `predict` requests are routed to shard `fnv1a(model_key) % workers`,
+//! concentrating each model's traffic on one shard's decoded-model
+//! cache. Chaos requests round-robin so panics and stalls spread across
+//! shards.
+
+use std::io::{self, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::bump;
+use crate::cache::fnv1a;
+use crate::protocol::{
+    human_duration, parse_request, ErrorKind, LineReader, ProtocolError, ReadEvent, Request,
+    Response, PROTOCOL_HEADER,
+};
+use crate::queue::{Job, JobKind, PushError, ShardQueue};
+use crate::stats::ServeStats;
+use crate::worker::{spawn_worker, WorkerConfig};
+
+/// Everything tunable about a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Directory of `.napel` bundles, addressed by file stem.
+    pub model_dir: PathBuf,
+    /// Worker shards; 0 means one per available core (capped at 8).
+    pub workers: usize,
+    /// Per-shard queue bound — the admission-control high-water mark.
+    pub queue_capacity: usize,
+    /// Concurrent connections before new ones are refused outright.
+    pub max_connections: usize,
+    /// Socket read deadline: a connection idle (or dribbling a partial
+    /// line) this long is told so and closed.
+    pub read_deadline: Duration,
+    /// Socket write deadline for response lines.
+    pub write_deadline: Duration,
+    /// Whether `panic`/`stall` chaos requests are honored.
+    pub chaos: bool,
+    /// Per-shard worker tuning.
+    pub worker: WorkerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            model_dir: PathBuf::from("models"),
+            workers: 0,
+            queue_capacity: 64,
+            max_connections: 64,
+            read_deadline: Duration::from_secs(10),
+            write_deadline: Duration::from_secs(10),
+            chaos: false,
+            worker: WorkerConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .min(8)
+    }
+}
+
+/// State shared by the accept loop, connection threads, and drain.
+struct Shared {
+    cfg: ServerConfig,
+    stats: Arc<ServeStats>,
+    queues: Vec<Arc<ShardQueue>>,
+    draining: AtomicBool,
+    /// Set when a client sends `shutdown`; the hosting binary polls this
+    /// and calls [`Server::drain`].
+    shutdown_requested: AtomicBool,
+    /// Read-half clones of every live connection, so drain can unblock
+    /// readers parked in `read()`.
+    streams: Mutex<Vec<TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    active: AtomicUsize,
+    round_robin: AtomicUsize,
+}
+
+/// A running server. Dropping it without [`Server::drain`] leaks the
+/// threads; both binaries and all tests drain.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker shards and the accept loop, and returns
+    /// once the server is reachable.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listen address.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServeStats::default());
+        let n = cfg.effective_workers();
+        let queues: Vec<Arc<ShardQueue>> = (0..n)
+            .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))
+            .collect();
+        let workers = queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                spawn_worker(
+                    i,
+                    Arc::clone(q),
+                    cfg.model_dir.clone(),
+                    Arc::clone(&stats),
+                    cfg.worker.clone(),
+                )
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            cfg,
+            stats,
+            queues,
+            draining: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            streams: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            active: AtomicUsize::new(0),
+            round_robin: AtomicUsize::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("napel-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("accept thread spawn")
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Whether a client has asked the server to shut down.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::Relaxed)
+    }
+
+    /// Drains cleanly: stop accepting, unblock and close every
+    /// connection's reader, let workers finish everything already
+    /// admitted, flush all writers, join every thread, and mirror the
+    /// final counters into telemetry. Every request acknowledged with
+    /// `ok`/`err` admission has had its response flushed when this
+    /// returns.
+    pub fn drain(mut self) -> Arc<ServeStats> {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // The accept thread is parked in accept(); poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Unblock readers; they see EOF and fall out of their loops.
+        for stream in self
+            .shared
+            .streams
+            .lock()
+            .expect("stream registry not poisoned")
+            .drain(..)
+        {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        // Workers drain what was admitted, then exit. Joining them drops
+        // the last reply senders, which lets writers flush and exit,
+        // which lets connection threads exit.
+        for queue in &self.shared.queues {
+            queue.close();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let conn_threads: Vec<_> = self
+            .shared
+            .conn_threads
+            .lock()
+            .expect("connection registry not poisoned")
+            .drain(..)
+            .collect();
+        for conn in conn_threads {
+            let _ = conn.join();
+        }
+        self.shared.stats.publish_telemetry();
+        Arc::clone(&self.shared.stats)
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            return; // the drain's own wake-up connect lands here
+        }
+        if shared.active.load(Ordering::Relaxed) >= shared.cfg.max_connections {
+            bump!(shared.stats, connections_refused);
+            let mut stream = stream;
+            let refusal = Response::error(
+                crate::protocol::NO_ID,
+                ErrorKind::Shed,
+                "connection limit reached",
+            );
+            let _ = writeln!(stream, "{}", refusal.render());
+            continue;
+        }
+        bump!(shared.stats, connections);
+        shared.active.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("napel-serve-conn".to_string())
+            .spawn(move || {
+                serve_connection(&stream, &conn_shared);
+                conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("connection thread spawn");
+        // Registered after spawn; drain collects the registry only after
+        // this loop has stopped, so no handle is missed.
+        if let Ok(mut threads) = shared.conn_threads.lock() {
+            threads.push(handle);
+        }
+    }
+}
+
+/// One connection, start to finish: handshake, request loop, teardown.
+fn serve_connection(stream: &TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_deadline));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_deadline));
+    if let Ok(clone) = stream.try_clone() {
+        if let Ok(mut streams) = shared.streams.lock() {
+            streams.push(clone);
+        }
+    }
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<String>();
+    let writer = {
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        std::thread::Builder::new()
+            .name("napel-serve-writer".to_string())
+            .spawn(move || write_loop(write_half, &reply_rx))
+            .expect("writer thread spawn")
+    };
+
+    read_loop(stream, shared, &reply_tx);
+
+    // Dropping our sender lets the writer exit once every queued job's
+    // reply sender is gone too.
+    drop(reply_tx);
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Ships response lines to the client, batching flushes across bursts.
+fn write_loop(stream: TcpStream, lines: &Receiver<String>) {
+    let mut out = BufWriter::new(stream);
+    while let Ok(line) = lines.recv() {
+        if writeln!(out, "{line}").is_err() {
+            return;
+        }
+        // Responses often arrive in bursts (batch completions); write
+        // them all before paying for one flush.
+        while let Ok(line) = lines.try_recv() {
+            if writeln!(out, "{line}").is_err() {
+                return;
+            }
+        }
+        if out.flush().is_err() {
+            return;
+        }
+    }
+    let _ = out.flush();
+}
+
+fn send(reply: &Sender<String>, response: &Response) {
+    let _ = reply.send(response.render());
+}
+
+/// The reader state machine: header handshake, then one request per line
+/// until EOF, a protocol violation, or drain.
+fn read_loop(stream: &TcpStream, shared: &Arc<Shared>, reply: &Sender<String>) {
+    let mut reader = LineReader::new(stream);
+
+    // Handshake: the first line must be the protocol header.
+    match reader.next_line() {
+        ReadEvent::Line(bytes) => match String::from_utf8(bytes) {
+            Ok(line) if line == PROTOCOL_HEADER => {
+                send(
+                    reply,
+                    &Response::ok(crate::protocol::NO_ID, PROTOCOL_HEADER),
+                );
+            }
+            Ok(line) => {
+                bump!(shared.stats, protocol_errors);
+                send(reply, &ProtocolError::BadHeader(line).to_response());
+                return;
+            }
+            Err(_) => {
+                bump!(shared.stats, protocol_errors);
+                send(reply, &ProtocolError::NotUtf8.to_response());
+                return;
+            }
+        },
+        ReadEvent::TimedOut => {
+            bump!(shared.stats, protocol_errors);
+            send(
+                reply,
+                &Response::error(
+                    crate::protocol::NO_ID,
+                    ErrorKind::Deadline,
+                    format!(
+                        "no header within the {} read deadline",
+                        human_duration(shared.cfg.read_deadline)
+                    ),
+                ),
+            );
+            return;
+        }
+        _ => return,
+    }
+
+    loop {
+        match reader.next_line() {
+            ReadEvent::Line(bytes) => {
+                let Ok(line) = String::from_utf8(bytes) else {
+                    bump!(shared.stats, protocol_errors);
+                    send(reply, &ProtocolError::NotUtf8.to_response());
+                    return;
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_request(&line, shared.cfg.chaos) {
+                    Ok(Request::Quit) => return,
+                    Ok(request) => dispatch(shared, reply, request),
+                    Err(violation) => {
+                        bump!(shared.stats, protocol_errors);
+                        send(reply, &violation.to_response());
+                        return; // hostile or broken peer: closed, not argued with
+                    }
+                }
+            }
+            ReadEvent::Oversized => {
+                bump!(shared.stats, protocol_errors);
+                send(
+                    reply,
+                    &ProtocolError::Oversized {
+                        limit: crate::protocol::MAX_LINE_BYTES,
+                    }
+                    .to_response(),
+                );
+                return;
+            }
+            ReadEvent::TimedOut => {
+                bump!(shared.stats, protocol_errors);
+                send(
+                    reply,
+                    &Response::error(
+                        crate::protocol::NO_ID,
+                        ErrorKind::Deadline,
+                        format!(
+                            "no complete request within the {} read deadline",
+                            human_duration(shared.cfg.read_deadline)
+                        ),
+                    ),
+                );
+                return;
+            }
+            ReadEvent::Eof | ReadEvent::Io(_) => return,
+        }
+    }
+}
+
+/// Routes one parsed request: inline commands answered here, work
+/// commands turned into jobs and pushed through admission control.
+fn dispatch(shared: &Arc<Shared>, reply: &Sender<String>, request: Request) {
+    match request {
+        Request::Ping { id } => send(reply, &Response::ok(id, "pong")),
+        Request::Stats { id } => {
+            let depth: usize = shared.queues.iter().map(|q| q.depth()).sum();
+            let payload = format!("{} queue_depth={depth}", shared.stats.render());
+            send(reply, &Response::ok(id, payload));
+        }
+        Request::Shutdown { id } => {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            send(reply, &Response::ok(id, "draining"));
+        }
+        Request::Predict { id, model, row } => {
+            let shard = (fnv1a(model.as_bytes()) as usize) % shared.queues.len();
+            let job = Job {
+                id,
+                kind: JobKind::Predict { model, row },
+                enqueued: Instant::now(),
+                reply: reply.clone(),
+            };
+            admit(shared, shard, job);
+        }
+        Request::Panic { id } => {
+            let job = Job {
+                id,
+                kind: JobKind::Panic,
+                enqueued: Instant::now(),
+                reply: reply.clone(),
+            };
+            admit(shared, next_shard(shared), job);
+        }
+        Request::Stall { id, millis } => {
+            let job = Job {
+                id,
+                // Clamp: a chaos client should hurt throughput, not pin a
+                // shard for minutes.
+                kind: JobKind::Stall(Duration::from_millis(millis.min(10_000))),
+                enqueued: Instant::now(),
+                reply: reply.clone(),
+            };
+            admit(shared, next_shard(shared), job);
+        }
+        Request::Quit => unreachable!("handled by the read loop"),
+    }
+}
+
+fn next_shard(shared: &Shared) -> usize {
+    shared.round_robin.fetch_add(1, Ordering::Relaxed) % shared.queues.len()
+}
+
+/// Admission control: into the queue, or an immediate typed refusal.
+fn admit(shared: &Shared, shard: usize, job: Job) {
+    match shared.queues[shard].push(job) {
+        Ok(()) => {
+            bump!(shared.stats, accepted);
+        }
+        Err((job, PushError::Full { depth })) => {
+            bump!(shared.stats, shed);
+            job.respond(&Response::error(
+                &job.id,
+                ErrorKind::Shed,
+                format!("shard {shard} queue full at {depth}"),
+            ));
+        }
+        Err((job, PushError::Closed)) => {
+            if shared.draining.load(Ordering::SeqCst) {
+                bump!(shared.stats, rejected_draining);
+                job.respond(&Response::error(
+                    &job.id,
+                    ErrorKind::Shutdown,
+                    "server is draining",
+                ));
+            } else {
+                bump!(shared.stats, internal_errors);
+                job.respond(&Response::error(
+                    &job.id,
+                    ErrorKind::Internal,
+                    format!("shard {shard} restart circuit breaker open"),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Live server counters.
+//!
+//! The hot path bumps plain relaxed atomics — cheap enough to leave on
+//! unconditionally, and readable at any moment by the `stats` request.
+//! At drain time [`ServeStats::publish_telemetry`] mirrors every counter
+//! into the `napel-telemetry` subsystem (as `serve.*` counters), so the
+//! JSONL event stream a driver writes with `--telemetry-out` carries the
+//! same numbers the live endpoint reported.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Latency histogram bucket bounds, in seconds (upper edges; an overflow
+/// bucket follows). Spans sub-millisecond cache-hit predictions out to
+/// multi-second overload tails.
+pub const LATENCY_BOUNDS: &[f64] = &[
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+];
+
+/// Batch-size histogram bucket bounds.
+pub const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+macro_rules! serve_stats {
+    ($( $(#[$doc:meta])* $name:ident => $telemetry:literal, )*) => {
+        /// Monotonic counters describing everything the server has done.
+        #[derive(Debug, Default)]
+        pub struct ServeStats {
+            $( $(#[$doc])* pub $name: AtomicU64, )*
+        }
+
+        impl ServeStats {
+            /// Every counter as `(name, value)`, in declaration order,
+            /// using the short names the `stats` response speaks.
+            pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+                vec![
+                    $( (stringify!($name), self.$name.load(Ordering::Relaxed)), )*
+                ]
+            }
+
+            /// Mirrors every counter into the global telemetry handle
+            /// under its `serve.*` name. Call once, at drain.
+            pub fn publish_telemetry(&self) {
+                let telemetry = napel_telemetry::global();
+                $(
+                    telemetry.counter($telemetry, self.$name.load(Ordering::Relaxed));
+                )*
+            }
+        }
+    };
+}
+
+serve_stats! {
+    /// Connections accepted.
+    connections => "serve.connections",
+    /// Connections refused at the concurrent-connection cap.
+    connections_refused => "serve.connections.refused",
+    /// Requests admitted to a shard queue.
+    accepted => "serve.requests.accepted",
+    /// Requests answered `ok`.
+    completed => "serve.requests.completed",
+    /// Requests refused because the shard queue was at its high-water
+    /// mark (explicit load shedding).
+    shed => "serve.requests.shed",
+    /// Queued requests dropped at dequeue because their deadline had
+    /// passed.
+    deadline_drops => "serve.requests.deadline_dropped",
+    /// Requests rejected because the server was draining.
+    rejected_draining => "serve.requests.rejected_draining",
+    /// Malformed lines (parse failures, oversized lines, non-UTF-8,
+    /// read timeouts on partial lines).
+    protocol_errors => "serve.errors.protocol",
+    /// Requests naming a missing or corrupt model bundle.
+    model_errors => "serve.errors.model",
+    /// Rows that failed the model's feature-schema validation.
+    schema_errors => "serve.errors.schema",
+    /// Requests answered `err ... internal` (in flight during a worker
+    /// panic, or on a breaker-tripped shard).
+    internal_errors => "serve.errors.internal",
+    /// Worker incarnations restarted after a panic.
+    worker_restarts => "serve.worker.restarts",
+    /// Shards whose restart circuit breaker tripped open.
+    breaker_trips => "serve.worker.breaker_trips",
+    /// Batches drained from shard queues.
+    batches => "serve.batches",
+    /// Total rows across all drained batches.
+    batch_rows => "serve.batch_rows",
+    /// Decoded-model cache hits.
+    cache_hits => "serve.model_cache.hits",
+    /// Decoded-model cache misses (bundle decoded from disk).
+    cache_misses => "serve.model_cache.misses",
+    /// Decoded models evicted to stay within the cache capacity.
+    cache_evictions => "serve.model_cache.evictions",
+}
+
+impl ServeStats {
+    /// Renders the `stats` response payload: `name=value` pairs in
+    /// declaration order.
+    pub fn render(&self) -> String {
+        self.snapshot()
+            .iter()
+            .map(|(name, v)| format!("{name}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Reads one counter from a rendered payload (client side).
+    pub fn parse_field(payload: &str, name: &str) -> Option<u64> {
+        payload.split_ascii_whitespace().find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == name).then(|| v.parse().ok())?
+        })
+    }
+
+    /// Records a request's queue-to-response latency in the global
+    /// telemetry latency histogram.
+    pub fn observe_latency(&self, elapsed: Duration) {
+        napel_telemetry::observe!(
+            "serve.latency_seconds",
+            LATENCY_BOUNDS,
+            elapsed.as_secs_f64()
+        );
+    }
+}
+
+/// Bumps a counter field by 1 (relaxed; these are statistics, not
+/// synchronization).
+#[macro_export]
+macro_rules! bump {
+    ($stats:expr, $field:ident) => {
+        $stats
+            .$field
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    };
+    ($stats:expr, $field:ident, $n:expr) => {
+        $stats
+            .$field
+            .fetch_add($n, std::sync::atomic::Ordering::Relaxed)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_render_round_trip() {
+        let s = ServeStats::default();
+        bump!(s, accepted);
+        bump!(s, accepted);
+        bump!(s, shed);
+        bump!(s, batch_rows, 7);
+        let payload = s.render();
+        assert_eq!(ServeStats::parse_field(&payload, "accepted"), Some(2));
+        assert_eq!(ServeStats::parse_field(&payload, "shed"), Some(1));
+        assert_eq!(ServeStats::parse_field(&payload, "batch_rows"), Some(7));
+        assert_eq!(ServeStats::parse_field(&payload, "completed"), Some(0));
+        assert_eq!(ServeStats::parse_field(&payload, "nope"), None);
+        let snap = s.snapshot();
+        assert!(snap.iter().any(|&(n, v)| n == "accepted" && v == 2));
+    }
+
+    #[test]
+    fn telemetry_mirror_uses_serve_names() {
+        let t = napel_telemetry::Telemetry::enabled();
+        napel_telemetry::install(t.clone());
+        let s = ServeStats::default();
+        bump!(s, completed, 5);
+        bump!(s, worker_restarts, 2);
+        s.publish_telemetry();
+        let report = t.drain();
+        assert_eq!(report.counter("serve.requests.completed"), Some(5));
+        assert_eq!(report.counter("serve.worker.restarts"), Some(2));
+        assert_eq!(report.counter("serve.requests.shed"), Some(0));
+        napel_telemetry::install(napel_telemetry::Telemetry::noop());
+    }
+}

@@ -1,0 +1,333 @@
+//! Supervised worker shards.
+//!
+//! Each shard is one OS thread owning one [`ShardQueue`] and one
+//! [`ModelCache`]. The thread runs a **supervisor loop**: the actual
+//! request-processing *incarnation* executes under `catch_unwind`, and
+//! when it panics — a poisoned model, a bug, or a chaos `panic` request —
+//! the supervisor answers every request the incarnation had claimed
+//! (`err ... internal`), waits out a deterministic exponential backoff,
+//! and starts a fresh incarnation. Panics are therefore invisible to
+//! every other connection and every other shard.
+//!
+//! A shard that panics repeatedly without completing a batch in between
+//! is assumed wedged: after `breaker_max_restarts` consecutive panics
+//! the restart circuit breaker trips, the shard's queue closes (new
+//! work for it is refused at admission), queued jobs are answered
+//! `err ... internal`, and the thread exits rather than burning CPU on
+//! a crash loop.
+//!
+//! **No acknowledged request is ever silently dropped.** The invariant:
+//! a job leaves its queue only into the shard's *in-flight slot*, and
+//! leaves the slot only after its response line has been handed to the
+//! connection writer. Whatever the incarnation was doing when it died,
+//! the supervisor finds the evidence in the slot.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use napel_core::fault::Backoff;
+use napel_core::NapelError;
+
+use crate::bump;
+use crate::cache::{Lookup, ModelCache};
+use crate::protocol::{predict_payload, ErrorKind, Response};
+use crate::queue::{Job, JobKind, ShardQueue};
+use crate::stats::{ServeStats, BATCH_BOUNDS};
+
+/// Tuning for one worker shard.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Most jobs drained from the queue per batch.
+    pub batch_max: usize,
+    /// Queued jobs older than this at processing time are answered
+    /// `err ... deadline` instead of being scored — under overload,
+    /// late answers are worthless and computing them only makes the
+    /// backlog later still.
+    pub compute_deadline: Duration,
+    /// Restart delay schedule after a panic.
+    pub backoff: Backoff,
+    /// Consecutive panics (no completed batch in between) before the
+    /// restart circuit breaker trips and the shard shuts down.
+    pub breaker_max_restarts: u32,
+    /// Decoded models kept per shard.
+    pub cache_capacity: usize,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> WorkerConfig {
+        WorkerConfig {
+            batch_max: 32,
+            compute_deadline: Duration::from_secs(5),
+            backoff: Backoff::new(Duration::from_millis(5), Duration::from_millis(250)),
+            breaker_max_restarts: 8,
+            cache_capacity: 4,
+        }
+    }
+}
+
+/// Locks a mutex, recovering from poisoning — the shard's whole purpose
+/// is to keep functioning after a panic, and the in-flight queue of
+/// `Job`s stays structurally valid through an unwind.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Spawns the supervisor thread for shard `index`. The thread exits when
+/// the queue is closed and drained, or when its breaker trips.
+pub fn spawn_worker(
+    index: usize,
+    queue: Arc<ShardQueue>,
+    model_dir: PathBuf,
+    stats: Arc<ServeStats>,
+    cfg: WorkerConfig,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("napel-serve-worker-{index}"))
+        .spawn(move || supervise(&queue, &model_dir, &stats, &cfg))
+        .expect("worker thread spawn")
+}
+
+fn supervise(queue: &ShardQueue, model_dir: &PathBuf, stats: &ServeStats, cfg: &WorkerConfig) {
+    let mut cache = ModelCache::new(model_dir, cfg.cache_capacity);
+    let inflight: Mutex<VecDeque<Job>> = Mutex::new(VecDeque::new());
+    // Consecutive panics with no completed batch in between; the
+    // incarnation zeroes it after every batch it finishes.
+    let consecutive = AtomicU32::new(0);
+
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            incarnation(queue, &mut cache, &inflight, stats, cfg, &consecutive);
+        }));
+        match outcome {
+            // Queue closed and drained: clean shutdown.
+            Ok(()) => return,
+            Err(_) => {
+                // Answer everything the dead incarnation had claimed.
+                for job in lock_recovering(&inflight).drain(..) {
+                    bump!(stats, internal_errors);
+                    job.respond(&Response::error(
+                        &job.id,
+                        ErrorKind::Internal,
+                        "worker panicked while this request was in flight",
+                    ));
+                }
+                bump!(stats, worker_restarts);
+                napel_telemetry::counter!("serve.worker.restart_events", 1);
+                let restarts = consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+                if restarts > cfg.breaker_max_restarts {
+                    trip_breaker(queue, stats);
+                    return;
+                }
+                std::thread::sleep(cfg.backoff.delay(restarts - 1));
+            }
+        }
+    }
+}
+
+/// The breaker has decided this shard is wedged: refuse its future work
+/// at admission and answer what is already queued.
+fn trip_breaker(queue: &ShardQueue, stats: &ServeStats) {
+    bump!(stats, breaker_trips);
+    queue.close();
+    for job in queue.drain_now() {
+        bump!(stats, internal_errors);
+        job.respond(&Response::error(
+            &job.id,
+            ErrorKind::Internal,
+            "shard restart circuit breaker open",
+        ));
+    }
+}
+
+/// One incarnation: drain batches until the queue closes. Panics
+/// propagate to the supervisor.
+fn incarnation(
+    queue: &ShardQueue,
+    cache: &mut ModelCache,
+    inflight: &Mutex<VecDeque<Job>>,
+    stats: &ServeStats,
+    cfg: &WorkerConfig,
+    consecutive: &AtomicU32,
+) {
+    while let Some(batch) = queue.pop_batch(cfg.batch_max) {
+        bump!(stats, batches);
+        bump!(stats, batch_rows, batch.len() as u64);
+        napel_telemetry::observe!("serve.batch_size", BATCH_BOUNDS, batch.len() as f64);
+        *lock_recovering(inflight) = batch.into();
+        process_slot(cache, inflight, stats, cfg);
+        consecutive.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Works through the in-flight slot front to back. Jobs are popped from
+/// the slot only at the moment their response is sent.
+fn process_slot(
+    cache: &mut ModelCache,
+    inflight: &Mutex<VecDeque<Job>>,
+    stats: &ServeStats,
+    cfg: &WorkerConfig,
+) {
+    loop {
+        // Decide what to do from the front of the slot without removing
+        // anything yet.
+        enum Step {
+            Done,
+            Expired,
+            Panic,
+            Stall(Duration),
+            /// Score the first `n` jobs, all for this model key.
+            Predict(usize, String),
+        }
+        let step = {
+            let slot = lock_recovering(inflight);
+            match slot.front() {
+                None => Step::Done,
+                Some(front) if front.age() > cfg.compute_deadline => Step::Expired,
+                Some(front) => match &front.kind {
+                    JobKind::Panic => Step::Panic,
+                    JobKind::Stall(d) => Step::Stall(*d),
+                    JobKind::Predict { model, .. } => {
+                        let model = model.clone();
+                        let n = slot
+                            .iter()
+                            .take_while(|j| {
+                                matches!(&j.kind, JobKind::Predict { model: m, .. } if *m == model)
+                                    && j.age() <= cfg.compute_deadline
+                            })
+                            .count();
+                        Step::Predict(n, model)
+                    }
+                },
+            }
+        };
+
+        match step {
+            Step::Done => return,
+            Step::Expired => {
+                let job = pop_front(inflight);
+                bump!(stats, deadline_drops);
+                job.respond(&Response::error(
+                    &job.id,
+                    ErrorKind::Deadline,
+                    format!("queued {:?}, past the compute deadline", job.age()),
+                ));
+            }
+            // The chaos request gets its answer from the supervisor: the
+            // job stays in the slot, so the panic handler finds it there.
+            Step::Panic => panic!("chaos: panic requested by client"),
+            Step::Stall(d) => {
+                std::thread::sleep(d);
+                let job = pop_front(inflight);
+                stats.observe_latency(job.age());
+                bump!(stats, completed);
+                job.respond(&Response::ok(
+                    &job.id,
+                    format!("stalled {}ms", d.as_millis()),
+                ));
+            }
+            Step::Predict(n, model_key) => predict_run(cache, inflight, stats, n, &model_key),
+        }
+    }
+}
+
+/// Scores the first `n` in-flight jobs (one contiguous same-model run)
+/// through the batch path, falling back to per-row scoring when the
+/// batch contains schema-invalid rows so only those rows fail.
+fn predict_run(
+    cache: &mut ModelCache,
+    inflight: &Mutex<VecDeque<Job>>,
+    stats: &ServeStats,
+    n: usize,
+    model_key: &str,
+) {
+    let model = match cache.get(model_key) {
+        Ok((model, lookup)) => {
+            match lookup {
+                Lookup::Hit => {
+                    bump!(stats, cache_hits);
+                }
+                Lookup::Miss { evicted } => {
+                    bump!(stats, cache_misses);
+                    if evicted {
+                        bump!(stats, cache_evictions);
+                    }
+                }
+            }
+            model
+        }
+        Err(e) => {
+            // The whole run names the same (unusable) model.
+            for _ in 0..n {
+                let job = pop_front(inflight);
+                bump!(stats, model_errors);
+                job.respond(&Response::error(&job.id, ErrorKind::Model, e.to_string()));
+            }
+            return;
+        }
+    };
+
+    let rows: Vec<Vec<f64>> = {
+        let slot = lock_recovering(inflight);
+        slot.iter()
+            .take(n)
+            .map(|j| match &j.kind {
+                JobKind::Predict { row, .. } => row.clone(),
+                _ => unreachable!("predict run only spans Predict jobs"),
+            })
+            .collect()
+    };
+
+    match model.predict_batch(&rows) {
+        Ok(results) => {
+            for (pred, spread) in results {
+                let job = pop_front(inflight);
+                stats.observe_latency(job.age());
+                bump!(stats, completed);
+                job.respond(&Response::ok(
+                    &job.id,
+                    predict_payload(pred.ipc, pred.energy_per_inst_pj, spread),
+                ));
+            }
+        }
+        // At least one row fails the model's schema. predict_batch is
+        // all-or-nothing, so rescore row by row: valid rows still get
+        // answers, invalid ones get told exactly what is wrong.
+        Err(_) => {
+            for row in rows {
+                let job = pop_front(inflight);
+                match model.predict_batch(std::slice::from_ref(&row)) {
+                    Ok(mut one) => {
+                        let (pred, spread) = one.remove(0);
+                        stats.observe_latency(job.age());
+                        bump!(stats, completed);
+                        job.respond(&Response::ok(
+                            &job.id,
+                            predict_payload(pred.ipc, pred.energy_per_inst_pj, spread),
+                        ));
+                    }
+                    Err(e) => {
+                        bump!(stats, schema_errors);
+                        let kind = match e {
+                            NapelError::FeatureSchema { .. } => ErrorKind::Schema,
+                            _ => ErrorKind::Model,
+                        };
+                        job.respond(&Response::error(&job.id, kind, e.to_string()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn pop_front(inflight: &Mutex<VecDeque<Job>>) -> Job {
+    lock_recovering(inflight)
+        .pop_front()
+        .expect("in-flight slot cannot be empty mid-run")
+}

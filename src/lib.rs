@@ -12,6 +12,7 @@
 //! - [`doe`] — central composite design and baseline samplers
 //! - [`ml`] — random forest, MLP, model tree, CV, tuning
 //! - [`core`] — the NAPEL pipeline, accuracy analysis, EDP use case
+//! - [`serve`] — supervised, overload-tolerant TCP inference server
 //! - [`telemetry`] — structured tracing, metrics, phase profiling, logging
 //!
 //! # Quickstart
@@ -24,6 +25,7 @@ pub use napel_hostmodel as hostmodel;
 pub use napel_ir as ir;
 pub use napel_ml as ml;
 pub use napel_pisa as pisa;
+pub use napel_serve as serve;
 pub use napel_telemetry as telemetry;
 pub use napel_workloads as workloads;
 pub use nmc_sim as sim;
