@@ -1,0 +1,79 @@
+//! `obs` — convert a telemetry JSONL stream into a Perfetto-loadable
+//! Chrome trace plus a self-time phase table.
+//!
+//! ```text
+//! obs --in telemetry.jsonl [--trace-out trace.json] [--top N]
+//! ```
+//!
+//! `--in` takes the JSONL a driver wrote with `--telemetry-out` (any of
+//! the figure/table binaries, or `serve`). `--trace-out` writes Chrome
+//! trace-event JSON — open it in Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing`. The top-`N` (default 15) phases by self time
+//! print to stdout either way; counts of the stream's other record
+//! types go to stderr so the table stays machine-friendly.
+
+use napel_bench::obs;
+use napel_telemetry::TelemetryReport;
+
+struct Args {
+    input: String,
+    trace_out: Option<String>,
+    top: usize,
+}
+
+fn parse_args() -> Args {
+    let mut input = None;
+    let mut trace_out = None;
+    let mut top = 15;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| panic!("{arg} needs {what}"));
+        match arg.as_str() {
+            "--in" => input = Some(value("a JSONL path")),
+            "--trace-out" => trace_out = Some(value("a path")),
+            "--top" => {
+                top = value("a count")
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--top needs a positive count"));
+            }
+            other => panic!("unknown flag `{other}` (expected --in, --trace-out, --top)"),
+        }
+    }
+    Args {
+        input: input.expect("obs needs --in <telemetry.jsonl>"),
+        trace_out,
+        top: top.max(1),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let text = std::fs::read_to_string(&args.input)
+        .unwrap_or_else(|e| panic!("cannot read --in `{}`: {e}", args.input));
+    let report = TelemetryReport::from_jsonl(&text)
+        .unwrap_or_else(|e| panic!("`{}` is not a telemetry JSONL stream: {e}", args.input));
+    eprintln!(
+        "obs: {} span(s), {} counter(s), {} histogram(s), {} quantile summarie(s) from {}",
+        report.spans.len(),
+        report.counters.len(),
+        report.histograms.len(),
+        report.log_histograms.len(),
+        args.input
+    );
+
+    let placed = obs::place_spans(&report);
+    if let Some(path) = &args.trace_out {
+        let trace = obs::chrome_trace(&placed);
+        std::fs::write(path, &trace)
+            .unwrap_or_else(|e| panic!("cannot write --trace-out `{path}`: {e}"));
+        eprintln!(
+            "obs: wrote {} trace event(s) to {path} (load in Perfetto or chrome://tracing)",
+            placed.len()
+        );
+    }
+    if placed.is_empty() {
+        println!("no spans in the stream — nothing to place on a timeline");
+    } else {
+        print!("{}", obs::self_time_table(&placed, args.top));
+    }
+}

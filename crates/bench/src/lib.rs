@@ -37,6 +37,8 @@
 
 use std::path::PathBuf;
 
+pub mod obs;
+
 use napel_core::artifact::ModelIo;
 use napel_core::campaign::AnyExecutor;
 use napel_core::fault::{CampaignOptions, CampaignReport, FaultPolicy};

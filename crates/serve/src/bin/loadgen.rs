@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 
 use napel_serve::protocol::{payload_field, predict_payload};
 use napel_serve::{Response, ServeClient};
+use napel_telemetry::LogHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -134,7 +135,11 @@ struct ClientOutcome {
     /// Requests unanswered because the server closed a (deliberately
     /// hostile) connection — expected, not lost.
     aborted: u64,
-    latencies_us: Vec<u64>,
+    /// `ok` response latencies in microseconds. A log-bucketed histogram
+    /// instead of a raw Vec: constant memory however many requests a
+    /// level sends, mergeable across clients, and quantiles within a
+    /// documented relative-error bound.
+    latency_us: LogHistogram,
     /// The hostile role saw the defense it was probing for.
     probe_verified: bool,
     role: &'static str,
@@ -146,8 +151,7 @@ impl ClientOutcome {
             match response {
                 Response::Ok { .. } => {
                     self.ok += 1;
-                    self.latencies_us
-                        .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    self.latency_us.observe(t0.elapsed().as_secs_f64() * 1e6);
                 }
                 Response::Err { kind, .. } => {
                     *self.errors.entry(kind.token().to_string()).or_insert(0) += 1;
@@ -349,7 +353,7 @@ fn run_level(args: &Args, clients: usize, keys: &[String], nfeat: usize) -> Leve
         wall_ms: wall.as_millis() as u64,
         ..LevelReport::default()
     };
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut latency = LogHistogram::new();
     for outcome in &outcomes {
         if outcome.lost > 0 {
             eprintln!(
@@ -367,25 +371,16 @@ fn run_level(args: &Args, clients: usize, keys: &[String], nfeat: usize) -> Leve
         for (kind, n) in &outcome.errors {
             *report.errors.entry(kind.clone()).or_insert(0) += n;
         }
-        latencies.extend_from_slice(&outcome.latencies_us);
+        latency.merge(&outcome.latency_us);
     }
-    latencies.sort_unstable();
-    report.p50_us = percentile(&latencies, 50);
-    report.p99_us = percentile(&latencies, 99);
+    report.p50_us = latency.quantile(0.5).round() as u64;
+    report.p99_us = latency.quantile(0.99).round() as u64;
     report.throughput_rps = if wall.as_secs_f64() > 0.0 {
         report.ok as f64 / wall.as_secs_f64()
     } else {
         0.0
     };
     report
-}
-
-fn percentile(sorted: &[u64], pct: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = (sorted.len() - 1) * pct / 100;
-    sorted[idx]
 }
 
 #[derive(Default)]
@@ -561,5 +556,72 @@ fn main() {
     if args.strict && violations > 0 {
         eprintln!("loadgen: STRICT FAILURE — {violations} lost request(s)/unverified probe(s)");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napel_telemetry::RELATIVE_ERROR_BOUND;
+
+    /// Exact nearest-rank percentile over a sorted sample — the
+    /// implementation the report used before migrating to
+    /// [`LogHistogram`], kept as the differential oracle.
+    fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn histogram_percentiles_track_the_exact_sorted_oracle() {
+        // A latency-shaped sample: a dense body plus a heavy tail,
+        // deterministic so the assertion is stable.
+        let mut sample: Vec<u64> = Vec::new();
+        let mut x: u64 = 25019;
+        for _ in 0..5_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let body = 50 + (x >> 33) % 2_000; // 50µs..2ms
+            sample.push(body);
+            if x.is_multiple_of(50) {
+                sample.push(body * 100); // occasional 100× tail
+            }
+        }
+        let mut h = LogHistogram::new();
+        for &us in &sample {
+            h.observe(us as f64);
+        }
+        sample.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_nearest_rank(&sample, q) as f64;
+            let estimated = h.quantile(q);
+            let rel = (estimated - exact).abs() / exact;
+            assert!(
+                rel <= RELATIVE_ERROR_BOUND,
+                "q={q}: estimated {estimated} vs exact {exact} (rel err {rel:.5} > {RELATIVE_ERROR_BOUND})"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_client_histograms_match_one_big_histogram() {
+        // run_level merges per-client histograms; the merge must be
+        // indistinguishable from observing everything in one histogram.
+        let mut parts: Vec<LogHistogram> = (0..4).map(|_| LogHistogram::new()).collect();
+        let mut whole = LogHistogram::new();
+        for i in 0..1_000u64 {
+            let v = (i * 37 % 9_000 + 10) as f64;
+            parts[(i % 4) as usize].observe(v);
+            whole.observe(v);
+        }
+        let mut merged = LogHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole);
     }
 }

@@ -4,6 +4,8 @@
 //! serve --models models [--addr 127.0.0.1:0] [--workers N]
 //!       [--queue-cap N] [--max-conns N] [--read-deadline-ms N]
 //!       [--compute-deadline-ms N] [--batch-max N] [--chaos]
+//!       [--trace-sample N] [--trace-ring N]
+//!       [--metrics-out PATH] [--metrics-interval-ms N]
 //!       [--telemetry-out PATH] [--quiet]
 //! ```
 //!
@@ -24,6 +26,8 @@ use napel_serve::{Server, ServerConfig};
 struct Args {
     cfg: ServerConfig,
     telemetry_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics_interval: Duration,
     quiet: bool,
 }
 
@@ -33,6 +37,8 @@ fn parse_args() -> Args {
         cfg.model_dir = dir.into();
     }
     let mut telemetry_out = std::env::var("NAPEL_TELEMETRY").ok();
+    let mut metrics_out = None;
+    let mut metrics_interval = Duration::from_millis(1_000);
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +58,12 @@ fn parse_args() -> Args {
             }
             "--batch-max" => cfg.worker.batch_max = parse_num(&arg, &value("a count")),
             "--chaos" => cfg.chaos = true,
+            "--trace-sample" => cfg.trace_sample = parse_num(&arg, &value("a count")),
+            "--trace-ring" => cfg.trace_ring = parse_num(&arg, &value("a count")),
+            "--metrics-out" => metrics_out = Some(value("a path")),
+            "--metrics-interval-ms" => {
+                metrics_interval = Duration::from_millis(parse_num(&arg, &value("millis")));
+            }
             "--telemetry-out" => telemetry_out = Some(value("a path")),
             "--quiet" => quiet = true,
             other => panic!("unknown flag `{other}`"),
@@ -60,6 +72,8 @@ fn parse_args() -> Args {
     Args {
         cfg,
         telemetry_out,
+        metrics_out,
+        metrics_interval: metrics_interval.max(Duration::from_millis(10)),
         quiet,
     }
 }
@@ -67,6 +81,16 @@ fn parse_args() -> Args {
 fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
     raw.parse()
         .unwrap_or_else(|_| panic!("{flag}: `{raw}` is not a valid value"))
+}
+
+/// Writes the exposition atomically (write + rename), so a scraper
+/// reading the file never sees a half-written snapshot.
+fn write_metrics_snapshot(path: &str, text: &str) {
+    let tmp = format!("{path}.tmp");
+    let ok = std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, path).is_ok();
+    if !ok {
+        eprintln!("serve: metrics snapshot `{path}` write failed");
+    }
 }
 
 fn main() {
@@ -119,8 +143,17 @@ fn main() {
             .expect("stdin watcher spawn");
     }
 
+    let mut next_snapshot = std::time::Instant::now();
     while !server.shutdown_requested() && !stdin_closed.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(50));
+        if args.metrics_out.is_some() && std::time::Instant::now() >= next_snapshot {
+            write_metrics_snapshot(args.metrics_out.as_deref().unwrap(), &server.prometheus());
+            next_snapshot += args.metrics_interval;
+        }
+    }
+    // One final snapshot so the file reflects the complete run.
+    if let Some(path) = &args.metrics_out {
+        write_metrics_snapshot(path, &server.prometheus());
     }
     napel_telemetry::info!("serve: draining...");
     let stats = server.drain();

@@ -91,6 +91,67 @@ impl ServeClient {
             .ok_or_else(|| io::Error::other("connection closed before a response"))
     }
 
+    /// Reads one raw line (no response parsing). Block-framed payload
+    /// lines are raw text, not `ok`/`err` lines.
+    fn read_raw_line(&mut self) -> io::Result<String> {
+        match self.reader.next_line() {
+            ReadEvent::Line(bytes) => {
+                String::from_utf8(bytes).map_err(|_| io::Error::other("non-UTF-8 response line"))
+            }
+            ReadEvent::Eof => Err(io::Error::other("connection closed mid-block")),
+            ReadEvent::Oversized => Err(io::Error::other("oversized response line")),
+            ReadEvent::TimedOut => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "timed out waiting for a response",
+            )),
+            ReadEvent::Io(e) => Err(e),
+        }
+    }
+
+    /// Sends `metrics <id>` and reassembles the block-framed reply
+    /// (`ok <id> metrics <n>`, then `n` raw lines, then `.`) into the
+    /// Prometheus exposition text.
+    ///
+    /// # Errors
+    ///
+    /// Write/read failures, an `err` response, or a malformed block
+    /// (bad header, premature terminator, missing terminator).
+    pub fn fetch_metrics(&mut self, id: &str) -> io::Result<String> {
+        self.send_line(&format!("metrics {id}"))?;
+        let header = self
+            .read_response()?
+            .ok_or_else(|| io::Error::other("connection closed before a response"))?;
+        let declared: usize = match &header {
+            Response::Ok { payload, .. } => payload
+                .strip_prefix("metrics ")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| {
+                    io::Error::other(format!("malformed metrics header `{}`", header.render()))
+                })?,
+            Response::Err { .. } => {
+                return Err(io::Error::other(format!(
+                    "metrics request refused: {}",
+                    header.render()
+                )))
+            }
+        };
+        let mut text = String::new();
+        for _ in 0..declared {
+            let line = self.read_raw_line()?;
+            if line == "." {
+                return Err(io::Error::other("metrics block ended early"));
+            }
+            text.push_str(&line);
+            text.push('\n');
+        }
+        match self.read_raw_line()?.as_str() {
+            "." => Ok(text),
+            other => Err(io::Error::other(format!(
+                "expected the `.` block terminator, got `{other}`"
+            ))),
+        }
+    }
+
     /// The underlying socket (for tests poking at shutdown semantics).
     pub fn stream(&self) -> &TcpStream {
         &self.write_half

@@ -12,7 +12,7 @@
 //! Architecture (one box per thread kind):
 //!
 //! ```text
-//!  clients ──TCP──▶ accept ──▶ reader ─┬─ inline: ping/stats/shutdown
+//!  clients ──TCP──▶ accept ──▶ reader ─┬─ inline: ping/stats/metrics/trace/shutdown
 //!                                      └─ admit ─▶ shard queue (bounded)
 //!                                                      │ pop batch
 //!                        writer ◀─ responses ◀── worker shard (supervised)
@@ -46,10 +46,14 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod trace;
 pub mod worker;
 
 pub use client::ServeClient;
-pub use protocol::{ErrorKind, Request, Response, MAX_LINE_BYTES, PROTOCOL_HEADER};
+pub use protocol::{
+    ErrorKind, Request, Response, MAX_LINE_BYTES, PROTOCOL_HEADER, TRACE_MAX_PER_REQUEST,
+};
 pub use server::{Server, ServerConfig};
 pub use stats::ServeStats;
+pub use trace::{ObsHub, RequestTrace, Stage, TraceContext, TRACE_LANE_BASE};
 pub use worker::WorkerConfig;

@@ -15,6 +15,8 @@
 //! predict <id> <model-key> <f64> <f64> ...   score one feature row
 //! ping <id>                                  liveness probe
 //! stats <id>                                 live server counters
+//! metrics <id>                               Prometheus text exposition
+//! trace <id> [max]                           drain sampled request traces
 //! shutdown <id>                              begin a clean drain
 //! panic <id>                                 chaos mode: panic the worker
 //! stall <id> <millis>                        chaos mode: occupy the worker
@@ -27,6 +29,14 @@
 //! ok <id> <payload...>
 //! err <id> <kind> <detail...>
 //! ```
+//!
+//! `metrics` is the one multi-line response in the protocol, and it is
+//! block-framed so line-oriented clients stay simple: the server sends
+//! `ok <id> metrics <n>`, then exactly `n` raw exposition lines, then a
+//! lone `.` terminator. The whole block is written contiguously, so it
+//! never interleaves with other responses on the connection. `trace`
+//! stays single-line: its payload is one JSON object holding at most
+//! [`TRACE_MAX_PER_REQUEST`] traces (drain repeatedly for more).
 //!
 //! where `<kind>` is one of [`ErrorKind`]'s tokens. Hostile input is a
 //! first-class concern: lines are capped at [`MAX_LINE_BYTES`] (the cap is
@@ -54,6 +64,11 @@ pub const MAX_LINE_BYTES: usize = 64 * 1024;
 /// replies, and errors for lines too mangled to carry one).
 pub const NO_ID: &str = "-";
 
+/// Most traces one `trace` response carries. 64 traces at ~300 bytes
+/// each keeps the single-line JSON payload far inside
+/// [`MAX_LINE_BYTES`], which the client enforces on responses too.
+pub const TRACE_MAX_PER_REQUEST: usize = 64;
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -75,6 +90,19 @@ pub enum Request {
     Stats {
         /// Client-chosen id echoed in the response.
         id: String,
+    },
+    /// Live Prometheus text exposition; answered inline as a block-framed
+    /// multi-line response.
+    Metrics {
+        /// Client-chosen id echoed in the response.
+        id: String,
+    },
+    /// Drain up to `max` sampled request traces from the trace ring.
+    Trace {
+        /// Client-chosen id echoed in the response.
+        id: String,
+        /// Most traces to return (clamped to [`TRACE_MAX_PER_REQUEST`]).
+        max: usize,
     },
     /// Begin a clean drain of the whole server.
     Shutdown {
@@ -106,6 +134,8 @@ impl Request {
             Request::Predict { id, .. }
             | Request::Ping { id }
             | Request::Stats { id }
+            | Request::Metrics { id }
+            | Request::Trace { id, .. }
             | Request::Shutdown { id }
             | Request::Panic { id }
             | Request::Stall { id, .. } => id,
@@ -422,6 +452,33 @@ pub fn parse_request(line: &str, chaos: bool) -> Result<Request, ProtocolError> 
                 .ok_or(ProtocolError::MissingId("stats"))?
                 .to_string(),
         }),
+        "metrics" => Ok(Request::Metrics {
+            id: toks
+                .next()
+                .ok_or(ProtocolError::MissingId("metrics"))?
+                .to_string(),
+        }),
+        "trace" => {
+            let id = toks
+                .next()
+                .ok_or(ProtocolError::MissingId("trace"))?
+                .to_string();
+            let max = match toks.next() {
+                Some(tok) => tok
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&m| m > 0)
+                    .ok_or_else(|| ProtocolError::BadFloat {
+                        id: id.clone(),
+                        token: tok.to_string(),
+                    })?,
+                None => TRACE_MAX_PER_REQUEST,
+            };
+            Ok(Request::Trace {
+                id,
+                max: max.min(TRACE_MAX_PER_REQUEST),
+            })
+        }
         "shutdown" => Ok(Request::Shutdown {
             id: toks
                 .next()
@@ -607,6 +664,40 @@ mod tests {
                 millis: 250
             }
         );
+    }
+
+    #[test]
+    fn metrics_and_trace_requests_parse() {
+        assert_eq!(
+            parse_request("metrics m1", false).unwrap(),
+            Request::Metrics { id: "m1".into() }
+        );
+        assert_eq!(
+            parse_request("trace t1", false).unwrap(),
+            Request::Trace {
+                id: "t1".into(),
+                max: TRACE_MAX_PER_REQUEST
+            }
+        );
+        assert_eq!(
+            parse_request("trace t2 5", false).unwrap(),
+            Request::Trace {
+                id: "t2".into(),
+                max: 5
+            }
+        );
+        // Requests above the cap are clamped, not refused.
+        assert_eq!(
+            parse_request("trace t3 9999", false).unwrap(),
+            Request::Trace {
+                id: "t3".into(),
+                max: TRACE_MAX_PER_REQUEST
+            }
+        );
+        assert!(parse_request("metrics", false).is_err());
+        assert!(parse_request("trace", false).is_err());
+        assert!(parse_request("trace t4 0", false).is_err());
+        assert!(parse_request("trace t5 lots", false).is_err());
     }
 
     #[test]

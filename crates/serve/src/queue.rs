@@ -13,6 +13,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::protocol::Response;
+use crate::trace::{Stage, TraceContext};
 
 /// What a queued request wants the worker to do.
 #[derive(Debug, Clone)]
@@ -42,6 +43,8 @@ pub struct Job {
     pub enqueued: Instant,
     /// Channel back to the owning connection's writer thread.
     pub reply: std::sync::mpsc::Sender<String>,
+    /// Request-scoped trace state, stamped at read time.
+    pub ctx: TraceContext,
 }
 
 impl Job {
@@ -95,8 +98,16 @@ impl ShardQueue {
     }
 
     /// Admits a job, or hands it back with the reason it cannot run.
-    pub fn push(&self, job: Job) -> Result<(), (Job, PushError)> {
+    /// Either way, the time spent here (lock wait + capacity check) is
+    /// charged to the job's [`Stage::Admission`].
+    // The rejected job rides back in the Err by value on purpose: the
+    // shed path runs exactly when the server is overloaded, and boxing
+    // it would put an allocation there to save bytes on the Ok path.
+    #[allow(clippy::result_large_err)]
+    pub fn push(&self, mut job: Job) -> Result<(), (Job, PushError)> {
+        let started = Instant::now();
         let mut state = self.state.lock().expect("shard queue not poisoned");
+        job.ctx.record(Stage::Admission, started.elapsed());
         if state.closed {
             return Err((job, PushError::Closed));
         }
@@ -171,6 +182,7 @@ mod tests {
                 kind: JobKind::Panic,
                 enqueued: Instant::now(),
                 reply: tx,
+                ctx: TraceContext::new(0, Instant::now()),
             },
             rx,
         )

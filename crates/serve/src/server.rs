@@ -42,6 +42,7 @@ use crate::protocol::{
 };
 use crate::queue::{Job, JobKind, PushError, ShardQueue};
 use crate::stats::ServeStats;
+use crate::trace::{self, ObsHub, Stage};
 use crate::worker::{spawn_worker, WorkerConfig};
 
 /// Everything tunable about a server instance.
@@ -64,6 +65,11 @@ pub struct ServerConfig {
     pub write_deadline: Duration,
     /// Whether `panic`/`stall` chaos requests are honored.
     pub chaos: bool,
+    /// Keep 1 in this many successful request traces in the trace ring
+    /// (non-`ok` outcomes are always kept); 1 keeps everything.
+    pub trace_sample: u64,
+    /// Capacity of the sampled trace ring (oldest evicted first).
+    pub trace_ring: usize,
     /// Per-shard worker tuning.
     pub worker: WorkerConfig,
 }
@@ -79,6 +85,8 @@ impl Default for ServerConfig {
             read_deadline: Duration::from_secs(10),
             write_deadline: Duration::from_secs(10),
             chaos: false,
+            trace_sample: 64,
+            trace_ring: 256,
             worker: WorkerConfig::default(),
         }
     }
@@ -100,6 +108,7 @@ impl ServerConfig {
 struct Shared {
     cfg: ServerConfig,
     stats: Arc<ServeStats>,
+    hub: Arc<ObsHub>,
     queues: Vec<Arc<ShardQueue>>,
     draining: AtomicBool,
     /// Set when a client sends `shutdown`; the hosting binary polls this
@@ -134,6 +143,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServeStats::default());
         let n = cfg.effective_workers();
+        let hub = Arc::new(ObsHub::new(n, cfg.trace_sample, cfg.trace_ring));
         let queues: Vec<Arc<ShardQueue>> = (0..n)
             .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))
             .collect();
@@ -146,6 +156,7 @@ impl Server {
                     Arc::clone(q),
                     cfg.model_dir.clone(),
                     Arc::clone(&stats),
+                    Arc::clone(&hub),
                     cfg.worker.clone(),
                 )
             })
@@ -153,6 +164,7 @@ impl Server {
         let shared = Arc::new(Shared {
             cfg,
             stats,
+            hub,
             queues,
             draining: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
@@ -184,6 +196,18 @@ impl Server {
     /// Live counters.
     pub fn stats(&self) -> Arc<ServeStats> {
         Arc::clone(&self.shared.stats)
+    }
+
+    /// The live observability hub (stage histograms, trace ring).
+    pub fn hub(&self) -> Arc<ObsHub> {
+        Arc::clone(&self.shared.hub)
+    }
+
+    /// The current Prometheus text exposition — the same payload a
+    /// `metrics` wire request returns (used by `--metrics-out`).
+    pub fn prometheus(&self) -> String {
+        let depth: usize = self.shared.queues.iter().map(|q| q.depth()).sum();
+        self.shared.hub.prometheus(&self.shared.stats, depth)
     }
 
     /// Whether a client has asked the server to shut down.
@@ -233,6 +257,9 @@ impl Server {
         for conn in conn_threads {
             let _ = conn.join();
         }
+        // Export the hub first (histograms + sampled traces), then the
+        // final counters, so the JSONL stream carries both.
+        self.shared.hub.publish();
         self.shared.stats.publish_telemetry();
         Arc::clone(&self.shared.stats)
     }
@@ -381,6 +408,9 @@ fn read_loop(stream: &TcpStream, shared: &Arc<Shared>, reply: &Sender<String>) {
     loop {
         match reader.next_line() {
             ReadEvent::Line(bytes) => {
+                // The trace clock starts the moment the line is off the
+                // socket; everything until dispatch is read_parse time.
+                let received = Instant::now();
                 let Ok(line) = String::from_utf8(bytes) else {
                     bump!(shared.stats, protocol_errors);
                     send(reply, &ProtocolError::NotUtf8.to_response());
@@ -391,7 +421,7 @@ fn read_loop(stream: &TcpStream, shared: &Arc<Shared>, reply: &Sender<String>) {
                 }
                 match parse_request(&line, shared.cfg.chaos) {
                     Ok(Request::Quit) => return,
-                    Ok(request) => dispatch(shared, reply, request),
+                    Ok(request) => dispatch(shared, reply, request, received),
                     Err(violation) => {
                         bump!(shared.stats, protocol_errors);
                         send(reply, &violation.to_response());
@@ -430,15 +460,42 @@ fn read_loop(stream: &TcpStream, shared: &Arc<Shared>, reply: &Sender<String>) {
     }
 }
 
+/// Stamps a fresh trace context for a job-bound request: trace id from
+/// the hub, anchored at `received`, with everything since the line left
+/// the socket charged to `read_parse`.
+fn stamp(shared: &Shared, received: Instant) -> crate::trace::TraceContext {
+    let mut ctx = shared.hub.new_context(received);
+    ctx.record(Stage::ReadParse, received.elapsed());
+    ctx
+}
+
 /// Routes one parsed request: inline commands answered here, work
 /// commands turned into jobs and pushed through admission control.
-fn dispatch(shared: &Arc<Shared>, reply: &Sender<String>, request: Request) {
+fn dispatch(shared: &Arc<Shared>, reply: &Sender<String>, request: Request, received: Instant) {
     match request {
         Request::Ping { id } => send(reply, &Response::ok(id, "pong")),
         Request::Stats { id } => {
             let depth: usize = shared.queues.iter().map(|q| q.depth()).sum();
             let payload = format!("{} queue_depth={depth}", shared.stats.render());
             send(reply, &Response::ok(id, payload));
+        }
+        Request::Metrics { id } => {
+            let depth: usize = shared.queues.iter().map(|q| q.depth()).sum();
+            let text = shared.hub.prometheus(&shared.stats, depth);
+            let lines = text.lines().count();
+            // The whole block rides in one channel message so the writer
+            // emits it contiguously — it can never interleave with
+            // responses to other in-flight requests on this connection.
+            let mut block = format!("ok {id} metrics {lines}\n");
+            block.push_str(&text);
+            if !block.ends_with('\n') {
+                block.push('\n');
+            }
+            block.push('.');
+            let _ = reply.send(block);
+        }
+        Request::Trace { id, max } => {
+            send(reply, &Response::ok(id, shared.hub.drain_traces_json(max)));
         }
         Request::Shutdown { id } => {
             shared.shutdown_requested.store(true, Ordering::SeqCst);
@@ -451,6 +508,7 @@ fn dispatch(shared: &Arc<Shared>, reply: &Sender<String>, request: Request) {
                 kind: JobKind::Predict { model, row },
                 enqueued: Instant::now(),
                 reply: reply.clone(),
+                ctx: stamp(shared, received),
             };
             admit(shared, shard, job);
         }
@@ -460,6 +518,7 @@ fn dispatch(shared: &Arc<Shared>, reply: &Sender<String>, request: Request) {
                 kind: JobKind::Panic,
                 enqueued: Instant::now(),
                 reply: reply.clone(),
+                ctx: stamp(shared, received),
             };
             admit(shared, next_shard(shared), job);
         }
@@ -471,6 +530,7 @@ fn dispatch(shared: &Arc<Shared>, reply: &Sender<String>, request: Request) {
                 kind: JobKind::Stall(Duration::from_millis(millis.min(10_000))),
                 enqueued: Instant::now(),
                 reply: reply.clone(),
+                ctx: stamp(shared, received),
             };
             admit(shared, next_shard(shared), job);
         }
@@ -483,6 +543,8 @@ fn next_shard(shared: &Shared) -> usize {
 }
 
 /// Admission control: into the queue, or an immediate typed refusal.
+/// Refusals still complete their trace (they are always sampled into
+/// the ring — an operator debugging sheds wants exactly those).
 fn admit(shared: &Shared, shard: usize, job: Job) {
     match shared.queues[shard].push(job) {
         Ok(()) => {
@@ -490,27 +552,26 @@ fn admit(shared: &Shared, shard: usize, job: Job) {
         }
         Err((job, PushError::Full { depth })) => {
             bump!(shared.stats, shed);
-            job.respond(&Response::error(
+            let response = Response::error(
                 &job.id,
                 ErrorKind::Shed,
                 format!("shard {shard} queue full at {depth}"),
-            ));
+            );
+            trace::finish(&shared.hub, shard, job, "shed", &response);
         }
         Err((job, PushError::Closed)) => {
             if shared.draining.load(Ordering::SeqCst) {
                 bump!(shared.stats, rejected_draining);
-                job.respond(&Response::error(
-                    &job.id,
-                    ErrorKind::Shutdown,
-                    "server is draining",
-                ));
+                let response = Response::error(&job.id, ErrorKind::Shutdown, "server is draining");
+                trace::finish(&shared.hub, shard, job, "shutdown", &response);
             } else {
                 bump!(shared.stats, internal_errors);
-                job.respond(&Response::error(
+                let response = Response::error(
                     &job.id,
                     ErrorKind::Internal,
                     format!("shard {shard} restart circuit breaker open"),
-                ));
+                );
+                trace::finish(&shared.hub, shard, job, "internal", &response);
             }
         }
     }

@@ -8,17 +8,6 @@
 //! same numbers the live endpoint reported.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-/// Latency histogram bucket bounds, in seconds (upper edges; an overflow
-/// bucket follows). Spans sub-millisecond cache-hit predictions out to
-/// multi-second overload tails.
-pub const LATENCY_BOUNDS: &[f64] = &[
-    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
-];
-
-/// Batch-size histogram bucket bounds.
-pub const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 macro_rules! serve_stats {
     ($( $(#[$doc:meta])* $name:ident => $telemetry:literal, )*) => {
@@ -35,6 +24,28 @@ macro_rules! serve_stats {
                 vec![
                     $( (stringify!($name), self.$name.load(Ordering::Relaxed)), )*
                 ]
+            }
+
+            /// Every counter as `(telemetry name, value)` — the `serve.*`
+            /// names the JSONL stream and the Prometheus exposition use.
+            pub fn telemetry_snapshot(&self) -> Vec<(&'static str, u64)> {
+                vec![
+                    $( ($telemetry, self.$name.load(Ordering::Relaxed)), )*
+                ]
+            }
+
+            /// Stores `value` into the counter with the given short name;
+            /// `false` when no such field exists. Exists so tests can
+            /// exercise every field generically (round-trip coverage)
+            /// without hand-listing them.
+            pub fn set_field(&self, name: &str, value: u64) -> bool {
+                match name {
+                    $( stringify!($name) => {
+                        self.$name.store(value, Ordering::Relaxed);
+                        true
+                    } )*
+                    _ => false,
+                }
             }
 
             /// Mirrors every counter into the global telemetry handle
@@ -110,16 +121,6 @@ impl ServeStats {
             (k == name).then(|| v.parse().ok())?
         })
     }
-
-    /// Records a request's queue-to-response latency in the global
-    /// telemetry latency histogram.
-    pub fn observe_latency(&self, elapsed: Duration) {
-        napel_telemetry::observe!(
-            "serve.latency_seconds",
-            LATENCY_BOUNDS,
-            elapsed.as_secs_f64()
-        );
-    }
 }
 
 /// Bumps a counter field by 1 (relaxed; these are statistics, not
@@ -157,6 +158,48 @@ mod tests {
         assert_eq!(ServeStats::parse_field(&payload, "nope"), None);
         let snap = s.snapshot();
         assert!(snap.iter().any(|&(n, v)| n == "accepted" && v == 2));
+    }
+
+    #[test]
+    fn every_field_round_trips_through_render_and_parse() {
+        // Generic coverage: every declared counter must survive
+        // render → parse_field, including the boundary values 0 and
+        // u64::MAX. Uses set_field/snapshot so a newly added counter is
+        // covered automatically.
+        let field_names: Vec<&'static str> = ServeStats::default()
+            .snapshot()
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
+        assert!(field_names.len() >= 18, "expected the full counter set");
+        for value in [0u64, 1, 42, u64::MAX - 1, u64::MAX] {
+            let s = ServeStats::default();
+            for (i, name) in field_names.iter().enumerate() {
+                // Stagger values so adjacent fields can't mask each other.
+                assert!(s.set_field(name, value.wrapping_add(i as u64)));
+            }
+            let payload = s.render();
+            for (i, name) in field_names.iter().enumerate() {
+                assert_eq!(
+                    ServeStats::parse_field(&payload, name),
+                    Some(value.wrapping_add(i as u64)),
+                    "field {name} with base value {value}"
+                );
+            }
+        }
+        assert!(!ServeStats::default().set_field("no_such_field", 1));
+    }
+
+    #[test]
+    fn telemetry_snapshot_pairs_serve_names_with_values() {
+        let s = ServeStats::default();
+        bump!(s, shed, 3);
+        let snap = s.telemetry_snapshot();
+        assert_eq!(snap.len(), s.snapshot().len());
+        assert!(snap
+            .iter()
+            .any(|&(n, v)| n == "serve.requests.shed" && v == 3));
+        assert!(snap.iter().all(|&(n, _)| n.starts_with("serve.")));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use napel_core::fault::Backoff;
 use napel_core::NapelError;
@@ -37,7 +37,8 @@ use crate::bump;
 use crate::cache::{Lookup, ModelCache};
 use crate::protocol::{predict_payload, ErrorKind, Response};
 use crate::queue::{Job, JobKind, ShardQueue};
-use crate::stats::{ServeStats, BATCH_BOUNDS};
+use crate::stats::ServeStats;
+use crate::trace::{self, ObsHub, Stage};
 
 /// Tuning for one worker shard.
 #[derive(Debug, Clone)]
@@ -86,15 +87,23 @@ pub fn spawn_worker(
     queue: Arc<ShardQueue>,
     model_dir: PathBuf,
     stats: Arc<ServeStats>,
+    hub: Arc<ObsHub>,
     cfg: WorkerConfig,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("napel-serve-worker-{index}"))
-        .spawn(move || supervise(&queue, &model_dir, &stats, &cfg))
+        .spawn(move || supervise(index, &queue, &model_dir, &stats, &hub, &cfg))
         .expect("worker thread spawn")
 }
 
-fn supervise(queue: &ShardQueue, model_dir: &PathBuf, stats: &ServeStats, cfg: &WorkerConfig) {
+fn supervise(
+    shard: usize,
+    queue: &ShardQueue,
+    model_dir: &PathBuf,
+    stats: &ServeStats,
+    hub: &ObsHub,
+    cfg: &WorkerConfig,
+) {
     let mut cache = ModelCache::new(model_dir, cfg.cache_capacity);
     let inflight: Mutex<VecDeque<Job>> = Mutex::new(VecDeque::new());
     // Consecutive panics with no completed batch in between; the
@@ -103,7 +112,16 @@ fn supervise(queue: &ShardQueue, model_dir: &PathBuf, stats: &ServeStats, cfg: &
 
     loop {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            incarnation(queue, &mut cache, &inflight, stats, cfg, &consecutive);
+            incarnation(
+                shard,
+                queue,
+                &mut cache,
+                &inflight,
+                stats,
+                hub,
+                cfg,
+                &consecutive,
+            );
         }));
         match outcome {
             // Queue closed and drained: clean shutdown.
@@ -112,17 +130,18 @@ fn supervise(queue: &ShardQueue, model_dir: &PathBuf, stats: &ServeStats, cfg: &
                 // Answer everything the dead incarnation had claimed.
                 for job in lock_recovering(&inflight).drain(..) {
                     bump!(stats, internal_errors);
-                    job.respond(&Response::error(
+                    let response = Response::error(
                         &job.id,
                         ErrorKind::Internal,
                         "worker panicked while this request was in flight",
-                    ));
+                    );
+                    trace::finish(hub, shard, job, "internal", &response);
                 }
                 bump!(stats, worker_restarts);
                 napel_telemetry::counter!("serve.worker.restart_events", 1);
                 let restarts = consecutive.fetch_add(1, Ordering::Relaxed) + 1;
                 if restarts > cfg.breaker_max_restarts {
-                    trip_breaker(queue, stats);
+                    trip_breaker(shard, queue, stats, hub);
                     return;
                 }
                 std::thread::sleep(cfg.backoff.delay(restarts - 1));
@@ -133,35 +152,45 @@ fn supervise(queue: &ShardQueue, model_dir: &PathBuf, stats: &ServeStats, cfg: &
 
 /// The breaker has decided this shard is wedged: refuse its future work
 /// at admission and answer what is already queued.
-fn trip_breaker(queue: &ShardQueue, stats: &ServeStats) {
+fn trip_breaker(shard: usize, queue: &ShardQueue, stats: &ServeStats, hub: &ObsHub) {
     bump!(stats, breaker_trips);
     queue.close();
     for job in queue.drain_now() {
         bump!(stats, internal_errors);
-        job.respond(&Response::error(
+        let response = Response::error(
             &job.id,
             ErrorKind::Internal,
             "shard restart circuit breaker open",
-        ));
+        );
+        trace::finish(hub, shard, job, "internal", &response);
     }
 }
 
 /// One incarnation: drain batches until the queue closes. Panics
 /// propagate to the supervisor.
+#[allow(clippy::too_many_arguments)]
 fn incarnation(
+    shard: usize,
     queue: &ShardQueue,
     cache: &mut ModelCache,
     inflight: &Mutex<VecDeque<Job>>,
     stats: &ServeStats,
+    hub: &ObsHub,
     cfg: &WorkerConfig,
     consecutive: &AtomicU32,
 ) {
-    while let Some(batch) = queue.pop_batch(cfg.batch_max) {
+    while let Some(mut batch) = queue.pop_batch(cfg.batch_max) {
         bump!(stats, batches);
         bump!(stats, batch_rows, batch.len() as u64);
-        napel_telemetry::observe!("serve.batch_size", BATCH_BOUNDS, batch.len() as f64);
+        hub.observe_batch(batch.len());
+        // The moment of claim closes every job's queue_wait stage.
+        let claimed = Instant::now();
+        for job in &mut batch {
+            job.ctx
+                .record(Stage::QueueWait, claimed.duration_since(job.enqueued));
+        }
         *lock_recovering(inflight) = batch.into();
-        process_slot(cache, inflight, stats, cfg);
+        process_slot(shard, cache, inflight, stats, hub, cfg);
         consecutive.store(0, Ordering::Relaxed);
     }
 }
@@ -169,9 +198,11 @@ fn incarnation(
 /// Works through the in-flight slot front to back. Jobs are popped from
 /// the slot only at the moment their response is sent.
 fn process_slot(
+    shard: usize,
     cache: &mut ModelCache,
     inflight: &Mutex<VecDeque<Job>>,
     stats: &ServeStats,
+    hub: &ObsHub,
     cfg: &WorkerConfig,
 ) {
     loop {
@@ -213,26 +244,27 @@ fn process_slot(
             Step::Expired => {
                 let job = pop_front(inflight);
                 bump!(stats, deadline_drops);
-                job.respond(&Response::error(
+                let response = Response::error(
                     &job.id,
                     ErrorKind::Deadline,
                     format!("queued {:?}, past the compute deadline", job.age()),
-                ));
+                );
+                trace::finish(hub, shard, job, "deadline", &response);
             }
             // The chaos request gets its answer from the supervisor: the
             // job stays in the slot, so the panic handler finds it there.
             Step::Panic => panic!("chaos: panic requested by client"),
             Step::Stall(d) => {
                 std::thread::sleep(d);
-                let job = pop_front(inflight);
-                stats.observe_latency(job.age());
+                let mut job = pop_front(inflight);
+                job.ctx.record(Stage::Predict, d);
                 bump!(stats, completed);
-                job.respond(&Response::ok(
-                    &job.id,
-                    format!("stalled {}ms", d.as_millis()),
-                ));
+                let response = Response::ok(&job.id, format!("stalled {}ms", d.as_millis()));
+                trace::finish(hub, shard, job, "ok", &response);
             }
-            Step::Predict(n, model_key) => predict_run(cache, inflight, stats, n, &model_key),
+            Step::Predict(n, model_key) => {
+                predict_run(shard, cache, inflight, stats, hub, n, &model_key)
+            }
         }
     }
 }
@@ -241,12 +273,17 @@ fn process_slot(
 /// through the batch path, falling back to per-row scoring when the
 /// batch contains schema-invalid rows so only those rows fail.
 fn predict_run(
+    shard: usize,
     cache: &mut ModelCache,
     inflight: &Mutex<VecDeque<Job>>,
     stats: &ServeStats,
+    hub: &ObsHub,
     n: usize,
     model_key: &str,
 ) {
+    // Everything from here until the predict_batch call — model-cache
+    // resolution and row gathering — is batch assembly.
+    let assembly_started = Instant::now();
     let model = match cache.get(model_key) {
         Ok((model, lookup)) => {
             match lookup {
@@ -263,11 +300,14 @@ fn predict_run(
             model
         }
         Err(e) => {
+            let assembly = assembly_started.elapsed();
             // The whole run names the same (unusable) model.
             for _ in 0..n {
-                let job = pop_front(inflight);
+                let mut job = pop_front(inflight);
+                job.ctx.record(Stage::BatchAssembly, assembly);
                 bump!(stats, model_errors);
-                job.respond(&Response::error(&job.id, ErrorKind::Model, e.to_string()));
+                let response = Response::error(&job.id, ErrorKind::Model, e.to_string());
+                trace::finish(hub, shard, job, "model", &response);
             }
             return;
         }
@@ -283,17 +323,24 @@ fn predict_run(
             })
             .collect()
     };
+    let assembly = assembly_started.elapsed();
 
-    match model.predict_batch(&rows) {
+    let predict_started = Instant::now();
+    let batch_result = model.predict_batch(&rows);
+    let predict = predict_started.elapsed();
+
+    match batch_result {
         Ok(results) => {
             for (pred, spread) in results {
-                let job = pop_front(inflight);
-                stats.observe_latency(job.age());
+                let mut job = pop_front(inflight);
+                job.ctx.record(Stage::BatchAssembly, assembly);
+                job.ctx.record(Stage::Predict, predict);
                 bump!(stats, completed);
-                job.respond(&Response::ok(
+                let response = Response::ok(
                     &job.id,
                     predict_payload(pred.ipc, pred.energy_per_inst_pj, spread),
-                ));
+                );
+                trace::finish(hub, shard, job, "ok", &response);
             }
         }
         // At least one row fails the model's schema. predict_batch is
@@ -301,24 +348,29 @@ fn predict_run(
         // answers, invalid ones get told exactly what is wrong.
         Err(_) => {
             for row in rows {
-                let job = pop_front(inflight);
-                match model.predict_batch(std::slice::from_ref(&row)) {
+                let mut job = pop_front(inflight);
+                job.ctx.record(Stage::BatchAssembly, assembly);
+                let retry_started = Instant::now();
+                let one = model.predict_batch(std::slice::from_ref(&row));
+                job.ctx.record(Stage::Predict, retry_started.elapsed());
+                match one {
                     Ok(mut one) => {
                         let (pred, spread) = one.remove(0);
-                        stats.observe_latency(job.age());
                         bump!(stats, completed);
-                        job.respond(&Response::ok(
+                        let response = Response::ok(
                             &job.id,
                             predict_payload(pred.ipc, pred.energy_per_inst_pj, spread),
-                        ));
+                        );
+                        trace::finish(hub, shard, job, "ok", &response);
                     }
                     Err(e) => {
                         bump!(stats, schema_errors);
-                        let kind = match e {
-                            NapelError::FeatureSchema { .. } => ErrorKind::Schema,
-                            _ => ErrorKind::Model,
+                        let (kind, outcome) = match e {
+                            NapelError::FeatureSchema { .. } => (ErrorKind::Schema, "schema"),
+                            _ => (ErrorKind::Model, "model"),
                         };
-                        job.respond(&Response::error(&job.id, kind, e.to_string()));
+                        let response = Response::error(&job.id, kind, e.to_string());
+                        trace::finish(hub, shard, job, outcome, &response);
                     }
                 }
             }

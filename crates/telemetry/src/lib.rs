@@ -68,12 +68,16 @@
 pub mod log;
 
 mod event;
+mod expo;
 mod json;
+mod loghist;
 mod metrics;
 mod report;
 mod span;
 
 pub use event::SpanEvent;
+pub use expo::{sanitize_metric_name, SUMMARY_QUANTILES};
+pub use loghist::{LogHistogram, MAX_TRACKED, MIN_TRACKED, RELATIVE_ERROR_BOUND};
 pub use metrics::Histogram;
 pub use report::TelemetryReport;
 pub use span::{LaneGuard, Span};
@@ -99,6 +103,7 @@ pub(crate) struct Inner {
     spans: Mutex<Vec<SpanEvent>>,
     counters: Mutex<BTreeMap<String, u64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    log_histograms: Mutex<BTreeMap<String, LogHistogram>>,
     /// Next sequence number per lane.
     lanes: Mutex<BTreeMap<u64, u64>>,
 }
@@ -197,6 +202,36 @@ impl Telemetry {
         }
     }
 
+    /// Merges a locally-accumulated [`LogHistogram`] into the named
+    /// global one, creating it empty on first use. The intended pattern
+    /// for hot paths: observe into an unshared local (no lock, no global
+    /// check per observation) and merge once per batch or at shutdown.
+    pub fn merge_log_histogram(&self, name: &str, h: &LogHistogram) {
+        if let Some(inner) = &self.inner {
+            let mut store = inner
+                .log_histograms
+                .lock()
+                .expect("telemetry log histograms not poisoned");
+            store
+                .entry(name.to_string())
+                .or_insert_with(LogHistogram::new)
+                .merge(h);
+        }
+    }
+
+    /// Records an externally-measured span event. `event.seq` is
+    /// replaced with the next sequence number of `event.lane`, keeping
+    /// the `(lane, seq)` stream ordering invariant; everything else is
+    /// taken as given. This is the injection path for subsystems (like
+    /// the serve trace ring) that measure durations themselves instead
+    /// of holding RAII [`Span`] guards.
+    pub fn record(&self, mut event: SpanEvent) {
+        if let Some(inner) = &self.inner {
+            event.seq = inner.next_seq(event.lane);
+            inner.record_span(event);
+        }
+    }
+
     /// Takes everything recorded so far — spans sorted by `(lane, seq)`,
     /// counters and histograms by name — and resets the handle (including
     /// per-lane sequence numbers) for the next run.
@@ -209,11 +244,14 @@ impl Telemetry {
         let counters = std::mem::take(&mut *inner.counters.lock().expect("telemetry counters"));
         let histograms =
             std::mem::take(&mut *inner.histograms.lock().expect("telemetry histograms"));
+        let log_histograms =
+            std::mem::take(&mut *inner.log_histograms.lock().expect("telemetry loghists"));
         inner.lanes.lock().expect("telemetry lanes").clear();
         TelemetryReport {
             spans,
             counters: counters.into_iter().collect(),
             histograms: histograms.into_iter().collect(),
+            log_histograms: log_histograms.into_iter().collect(),
         }
     }
 }
@@ -292,12 +330,61 @@ mod tests {
             let _s = t.span("x").attr("k", 1);
             t.counter("c", 5);
             t.observe("h", &[1.0], 0.5);
+            t.merge_log_histogram("lh", &LogHistogram::new());
+            t.record(SpanEvent {
+                name: "x".to_string(),
+                lane: 0,
+                seq: 0,
+                depth: 0,
+                parent: None,
+                seconds: 1.0,
+                attrs: Vec::new(),
+            });
         }
         assert!(!t.is_enabled());
         let r = t.drain();
         assert!(r.spans.is_empty());
         assert!(r.counters.is_empty());
         assert!(r.histograms.is_empty());
+        assert!(r.log_histograms.is_empty());
+    }
+
+    #[test]
+    fn merged_log_histograms_accumulate_by_name() {
+        let t = Telemetry::enabled();
+        let mut a = LogHistogram::new();
+        a.observe(1.0);
+        let mut b = LogHistogram::new();
+        b.observe(2.0);
+        t.merge_log_histogram("lh", &a);
+        t.merge_log_histogram("lh", &b);
+        let r = t.drain();
+        assert_eq!(r.log_histograms.len(), 1);
+        assert_eq!(r.log_histograms[0].1.count(), 2);
+    }
+
+    #[test]
+    fn recorded_events_get_lane_sequence_numbers() {
+        let t = Telemetry::enabled();
+        let ev = |name: &str, lane: u64, depth: u64| SpanEvent {
+            name: name.to_string(),
+            lane,
+            seq: 999, // replaced on record
+            depth,
+            parent: None,
+            seconds: 0.5,
+            attrs: vec![("k".to_string(), "v".to_string())],
+        };
+        t.record(ev("req", 40, 0));
+        t.record(ev("stage", 40, 1));
+        t.record(ev("req", 41, 0));
+        let r = t.drain();
+        let got: Vec<(u64, u64, &str)> = r
+            .spans
+            .iter()
+            .map(|e| (e.lane, e.seq, e.name.as_str()))
+            .collect();
+        assert_eq!(got, vec![(40, 0, "req"), (40, 1, "stage"), (41, 0, "req")]);
     }
 
     #[test]

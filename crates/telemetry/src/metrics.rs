@@ -5,13 +5,18 @@
 /// the number of observations in bucket `i` alone.
 ///
 /// A value `v` lands in the first bucket `i` with `v <= bounds()[i]`;
-/// values above every bound (and pathological NaNs) land in the overflow
-/// bucket, so `counts().len() == bounds().len() + 1` and no observation
-/// is ever dropped.
+/// values above every bound land in the overflow bucket. NaN is neither
+/// above nor below any bound, so it gets its own dedicated counter
+/// ([`Histogram::nan_count`]) rather than silently polluting the
+/// overflow bucket — an instrumented formula producing NaN is a signal
+/// worth surfacing, not a large latency. Either way no observation is
+/// ever dropped: `total()` counts both.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<u64>,
+    nan: u64,
+    sum: f64,
 }
 
 impl Histogram {
@@ -37,6 +42,8 @@ impl Histogram {
         Histogram {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
+            nan: 0,
+            sum: 0.0,
         }
     }
 
@@ -47,7 +54,12 @@ impl Histogram {
     /// The same layout rules as [`Histogram::new`], plus
     /// `counts.len() == bounds.len() + 1`, reported as messages instead
     /// of panics since the input is external.
-    pub fn from_parts(bounds: Vec<f64>, counts: Vec<u64>) -> Result<Histogram, String> {
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        nan: u64,
+        sum: f64,
+    ) -> Result<Histogram, String> {
         if bounds.is_empty() {
             return Err("histogram needs at least one bound".to_string());
         }
@@ -62,11 +74,26 @@ impl Histogram {
                 counts.len()
             ));
         }
-        Ok(Histogram { bounds, counts })
+        if !sum.is_finite() {
+            return Err("histogram sum must be finite".to_string());
+        }
+        Ok(Histogram {
+            bounds,
+            counts,
+            nan,
+            sum,
+        })
     }
 
     /// Records one observation.
     pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        if value.is_finite() {
+            self.sum += value;
+        }
         let bucket = self
             .bounds
             .iter()
@@ -81,14 +108,26 @@ impl Histogram {
     }
 
     /// Per-bucket observation counts; the last entry is the overflow
-    /// bucket.
+    /// bucket. NaN observations are *not* in here — see
+    /// [`Histogram::nan_count`].
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
 
-    /// Total observations.
+    /// NaN observations recorded (bucketless, but never dropped).
+    pub fn nan_count(&self) -> u64 {
+        self.nan
+    }
+
+    /// Sum of all finite observations (infinities land in the overflow
+    /// bucket but are excluded here to keep the sum meaningful).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Total observations, NaN included.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.counts.iter().sum::<u64>() + self.nan
     }
 }
 
@@ -111,6 +150,8 @@ mod tests {
         h.observe(f64::INFINITY);
         assert_eq!(h.counts(), &[2, 2, 1, 2]);
         assert_eq!(h.total(), 7);
+        // Sum covers finite observations only.
+        assert!((h.sum() - 216.5001).abs() < 1e-9);
     }
 
     #[test]
@@ -122,11 +163,15 @@ mod tests {
     }
 
     #[test]
-    fn nan_goes_to_overflow_not_dropped() {
+    fn nan_is_counted_in_its_own_field_not_overflow() {
         let mut h = Histogram::new(&[1.0]);
         h.observe(f64::NAN);
-        assert_eq!(h.counts(), &[0, 1]);
-        assert_eq!(h.total(), 1);
+        // Regression: NaN used to fall through `v <= bound` into the
+        // overflow bucket, masquerading as a huge observation.
+        assert_eq!(h.counts(), &[0, 0]);
+        assert_eq!(h.nan_count(), 1);
+        assert_eq!(h.total(), 1, "NaN is surfaced, not dropped");
+        assert_eq!(h.sum(), 0.0, "NaN never poisons the sum");
     }
 
     #[test]
@@ -137,10 +182,14 @@ mod tests {
 
     #[test]
     fn from_parts_validates() {
-        assert!(Histogram::from_parts(vec![1.0, 2.0], vec![0, 1, 2]).is_ok());
-        assert!(Histogram::from_parts(vec![], vec![0]).is_err());
-        assert!(Histogram::from_parts(vec![2.0, 1.0], vec![0, 0, 0]).is_err());
-        assert!(Histogram::from_parts(vec![1.0], vec![0]).is_err());
-        assert!(Histogram::from_parts(vec![f64::NAN], vec![0, 0]).is_err());
+        let h = Histogram::from_parts(vec![1.0, 2.0], vec![0, 1, 2], 3, 4.5).expect("valid");
+        assert_eq!(h.nan_count(), 3);
+        assert_eq!(h.sum(), 4.5);
+        assert_eq!(h.total(), 6);
+        assert!(Histogram::from_parts(vec![], vec![0], 0, 0.0).is_err());
+        assert!(Histogram::from_parts(vec![2.0, 1.0], vec![0, 0, 0], 0, 0.0).is_err());
+        assert!(Histogram::from_parts(vec![1.0], vec![0], 0, 0.0).is_err());
+        assert!(Histogram::from_parts(vec![f64::NAN], vec![0, 0], 0, 0.0).is_err());
+        assert!(Histogram::from_parts(vec![1.0], vec![0, 0], 0, f64::NAN).is_err());
     }
 }

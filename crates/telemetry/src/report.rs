@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 
 use crate::event::SpanEvent;
 use crate::json::{self, JsonValue};
+use crate::loghist::LogHistogram;
 use crate::metrics::Histogram;
 
 /// Everything one [`Telemetry`](crate::Telemetry) handle recorded:
@@ -18,12 +19,17 @@ pub struct TelemetryReport {
     pub counters: Vec<(String, u64)>,
     /// `(name, histogram)` pairs in name order.
     pub histograms: Vec<(String, Histogram)>,
+    /// `(name, log-bucketed histogram)` pairs in name order.
+    pub log_histograms: Vec<(String, LogHistogram)>,
 }
 
 impl TelemetryReport {
     /// Whether nothing was recorded (always true for a noop handle).
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.log_histograms.is_empty()
     }
 
     /// The value of a counter, if it was ever incremented.
@@ -40,10 +46,11 @@ impl TelemetryReport {
     }
 
     /// A copy with every measurement zeroed: span `seconds` become `0.0`
-    /// and histograms (whose *bucket counts* depend on measured values)
-    /// are dropped. What remains — span names, lanes, sequence numbers,
-    /// nesting, attributes, counters — is the deterministic skeleton,
-    /// directly comparable across runs and executors with `assert_eq!`.
+    /// and histograms of both flavors (whose *bucket counts* depend on
+    /// measured values) are dropped. What remains — span names, lanes,
+    /// sequence numbers, nesting, attributes, counters — is the
+    /// deterministic skeleton, directly comparable across runs and
+    /// executors with `assert_eq!`.
     pub fn without_timings(&self) -> TelemetryReport {
         TelemetryReport {
             spans: self
@@ -56,19 +63,25 @@ impl TelemetryReport {
                 .collect(),
             counters: self.counters.clone(),
             histograms: Vec::new(),
+            log_histograms: Vec::new(),
         }
     }
 
     /// Renders the report as JSONL: one object per line, spans first
-    /// (in `(lane, seq)` order), then counters, then histograms.
+    /// (in `(lane, seq)` order), then counters, then fixed-bucket
+    /// histograms, then log-bucketed histograms.
     ///
-    /// Schema (one line each):
+    /// Schema (one line each; `nan` appears only when nonzero):
     ///
     /// ```json
     /// {"type":"span","name":"campaign.job","lane":3,"seq":0,"depth":0,"parent":"x","seconds":0.001,"attrs":{"workload":"atax"}}
     /// {"type":"counter","name":"campaign.jobs.completed","value":54}
-    /// {"type":"histogram","name":"ml.forest.tree_build_seconds","bounds":[0.001,0.01],"counts":[3,2,0]}
+    /// {"type":"histogram","name":"ml.forest.tree_build_seconds","bounds":[0.001,0.01],"counts":[3,2,0],"sum":0.02}
+    /// {"type":"loghist","name":"serve.latency_seconds","buckets":[[1510,3],[1600,1]],"below":0,"sum":0.013}
     /// ```
+    ///
+    /// `loghist` bucket entries are sparse `[bucket_index, count]` pairs
+    /// in the fixed [`LogHistogram`] layout.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for span in &self.spans {
@@ -98,7 +111,31 @@ impl TelemetryReport {
                 }
                 write!(out, "{c}").expect("writing to String cannot fail");
             }
-            out.push_str("]}\n");
+            out.push(']');
+            if h.nan_count() > 0 {
+                write!(out, ",\"nan\":{}", h.nan_count()).expect("writing to String cannot fail");
+            }
+            out.push_str(",\"sum\":");
+            json::write_f64(&mut out, h.sum());
+            out.push_str("}\n");
+        }
+        for (name, h) in &self.log_histograms {
+            out.push_str("{\"type\":\"loghist\",\"name\":");
+            json::write_string(&mut out, name);
+            out.push_str(",\"buckets\":[");
+            for (i, (index, count)) in h.sparse_counts().into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "[{index},{count}]").expect("writing to String cannot fail");
+            }
+            write!(out, "],\"below\":{}", h.below_count()).expect("writing to String cannot fail");
+            if h.nan_count() > 0 {
+                write!(out, ",\"nan\":{}", h.nan_count()).expect("writing to String cannot fail");
+            }
+            out.push_str(",\"sum\":");
+            json::write_f64(&mut out, h.sum());
+            out.push_str("}\n");
         }
         out
     }
@@ -140,9 +177,33 @@ impl TelemetryReport {
                         .map_err(|e| format!("line {lineno}: {e}"))?;
                     let counts = decode_array(&fields, "counts", JsonValue::as_u64)
                         .map_err(|e| format!("line {lineno}: {e}"))?;
-                    let h = Histogram::from_parts(bounds, counts)
+                    // `nan` is omitted when zero, and `sum` is absent in
+                    // JSONL written before either field existed.
+                    let nan = optional_u64(&fields, "nan", lineno)?;
+                    let sum = optional_f64(&fields, "sum", lineno)?;
+                    let h = Histogram::from_parts(bounds, counts, nan, sum)
                         .map_err(|e| format!("line {lineno}: {e}"))?;
                     report.histograms.push((name, h));
+                }
+                "loghist" => {
+                    let name = json::get_string(&fields, "name")
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    let buckets = decode_array(&fields, "buckets", |v| match v {
+                        JsonValue::Array(pair) => match pair.as_slice() {
+                            [i, c] => Some((i.as_u64()?, c.as_u64()?)),
+                            _ => None,
+                        },
+                        _ => None,
+                    })
+                    .map_err(|e| format!("line {lineno}: {e}"))?;
+                    let below = json::get_u64(&fields, "below")
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    let nan = optional_u64(&fields, "nan", lineno)?;
+                    let sum =
+                        json::get_f64(&fields, "sum").map_err(|e| format!("line {lineno}: {e}"))?;
+                    let h = LogHistogram::from_sparse(&buckets, below, nan, sum)
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    report.log_histograms.push((name, h));
                 }
                 other => return Err(format!("line {lineno}: unknown type `{other}`")),
             }
@@ -218,10 +279,54 @@ impl TelemetryReport {
                         write!(out, "over: {c}").expect("write to String");
                     }
                 }
+                if h.nan_count() > 0 {
+                    write!(out, " | nan: {}", h.nan_count()).expect("write to String");
+                }
                 out.push('\n');
             }
         }
+
+        if !self.log_histograms.is_empty() {
+            out.push_str("quantile summaries\n");
+            let mut rows = vec![vec![
+                "metric".to_string(),
+                "count".to_string(),
+                "p50".to_string(),
+                "p99".to_string(),
+                "mean".to_string(),
+            ]];
+            for (name, h) in &self.log_histograms {
+                let mut row = vec![
+                    name.clone(),
+                    h.count().to_string(),
+                    format!("{:.6}", h.quantile(0.5)),
+                    format!("{:.6}", h.quantile(0.99)),
+                    format!("{:.6}", h.mean()),
+                ];
+                if h.nan_count() > 0 {
+                    row.push(format!("nan={}", h.nan_count()));
+                }
+                rows.push(row);
+            }
+            render_aligned(&mut out, &rows);
+        }
         out
+    }
+}
+
+/// Reads a `u64` field that the writer omits when zero.
+fn optional_u64(fields: &[(String, JsonValue)], key: &str, lineno: usize) -> Result<u64, String> {
+    match json::get(fields, key) {
+        None => Ok(0),
+        Some(_) => json::get_u64(fields, key).map_err(|e| format!("line {lineno}: {e}")),
+    }
+}
+
+/// Reads an `f64` field absent from JSONL written by older schemas.
+fn optional_f64(fields: &[(String, JsonValue)], key: &str, lineno: usize) -> Result<f64, String> {
+    match json::get(fields, key) {
+        None => Ok(0.0),
+        Some(_) => json::get_f64(fields, key).map_err(|e| format!("line {lineno}: {e}")),
     }
 }
 
@@ -284,6 +389,11 @@ mod tests {
         t.counter("c.misses", 1);
         t.observe("h.seconds", &[0.001, 0.1], 0.05);
         t.observe("h.seconds", &[0.001, 0.1], 5.0);
+        let mut lat = LogHistogram::new();
+        lat.observe(0.003);
+        lat.observe(0.004);
+        lat.observe(0.0);
+        t.merge_log_histogram("lh.latency", &lat);
         t.drain()
     }
 
@@ -301,7 +411,7 @@ mod tests {
     fn jsonl_schema_fields_are_present() {
         let text = sample().to_jsonl();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 6);
         assert!(lines[0].starts_with("{\"type\":\"span\",\"name\":\"phase.outer\""));
         assert!(lines[0].contains("\"lane\":0"));
         assert!(lines[0].contains("\"seq\":0"));
@@ -312,6 +422,31 @@ mod tests {
         assert!(lines[2].contains("\"type\":\"counter\""));
         assert!(lines[4].contains("\"bounds\":[0.001,0.1]"));
         assert!(lines[4].contains("\"counts\":[0,1,1]"));
+        assert!(lines[4].contains("\"sum\":5.05"), "shortest-form f64 sum");
+        assert!(!lines[4].contains("\"nan\""), "nan omitted when zero");
+        assert!(lines[5].starts_with("{\"type\":\"loghist\",\"name\":\"lh.latency\""));
+        assert!(lines[5].contains("\"below\":1"));
+        assert!(lines[5].contains("\"sum\":0.00"));
+        assert!(lines[5].contains("\"buckets\":[["));
+    }
+
+    #[test]
+    fn histogram_nan_field_round_trips_through_jsonl() {
+        let t = Telemetry::enabled();
+        t.observe("h.bad", &[1.0], f64::NAN);
+        t.observe("h.bad", &[1.0], 0.5);
+        let report = t.drain();
+        let text = report.to_jsonl();
+        assert!(text.contains("\"nan\":1"), "nonzero nan is serialized");
+        let back = TelemetryReport::from_jsonl(&text).expect("parses");
+        assert_eq!(back, report);
+        assert_eq!(back.histograms[0].1.nan_count(), 1);
+        // Pre-`nan`/`sum` schema lines still parse (fields default to 0).
+        let legacy =
+            "{\"type\":\"histogram\",\"name\":\"old\",\"bounds\":[1.0],\"counts\":[2,0]}\n";
+        let old = TelemetryReport::from_jsonl(legacy).expect("legacy parses");
+        assert_eq!(old.histograms[0].1.nan_count(), 0);
+        assert_eq!(old.histograms[0].1.sum(), 0.0);
     }
 
     #[test]
@@ -349,6 +484,8 @@ mod tests {
         assert!(s.contains("histograms"));
         assert!(s.contains("h.seconds"));
         assert!(s.contains("n=2"));
+        assert!(s.contains("quantile summaries"));
+        assert!(s.contains("lh.latency"));
         let empty = TelemetryReport::default().summary();
         assert!(empty.contains("nothing recorded"));
     }

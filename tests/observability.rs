@@ -1,0 +1,97 @@
+//! Property tests for the observability layer's estimator: the
+//! [`LogHistogram`] quantile must stay within its documented
+//! relative-error bound of the exact nearest-rank quantile, for any
+//! sample set and any probability — that bound is what lets the serving
+//! stack replace sort-everything percentiles with constant-memory
+//! histograms without changing what the reports mean.
+
+use napel::telemetry::{LogHistogram, MIN_TRACKED, RELATIVE_ERROR_BOUND};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over an unsorted sample (the definition
+/// `LogHistogram::quantile` documents itself against).
+fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Samples spanning ~18 octaves (microseconds to minutes, read as
+/// seconds), the range serving latencies actually live in.
+fn latencies() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((-20.0f64..=10.0).prop_map(f64::exp2), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn quantile_stays_within_the_documented_relative_error(
+        samples in latencies(),
+        q in 0.01f64..=1.0,
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let exact = exact_quantile(&samples, q);
+        let estimate = h.quantile(q);
+        let err = (estimate - exact).abs() / exact;
+        prop_assert!(
+            err <= RELATIVE_ERROR_BOUND,
+            "q={q}: estimate {estimate} vs exact {exact} (rel err {err} > {})",
+            RELATIVE_ERROR_BOUND
+        );
+    }
+
+    #[test]
+    fn merging_shards_equals_observing_everything_in_one_histogram(
+        samples in latencies(),
+        shards in 1usize..6,
+        q in 0.05f64..=1.0,
+    ) {
+        let mut whole = LogHistogram::new();
+        let mut merged = LogHistogram::new();
+        let mut parts = vec![LogHistogram::new(); shards];
+        for (i, &s) in samples.iter().enumerate() {
+            whole.observe(s);
+            parts[i % shards].observe(s);
+        }
+        for part in &parts {
+            merged.merge(part);
+        }
+        // Bucket contents must match exactly; the running `sum` may drift
+        // by float-addition order, so it only gets a ulp-scale tolerance.
+        prop_assert_eq!(merged.sparse_counts(), whole.sparse_counts());
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.below_count(), whole.below_count());
+        prop_assert!((merged.sum() - whole.sum()).abs() <= whole.sum().abs() * 1e-12);
+        prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+    }
+
+    #[test]
+    fn tiny_values_collapse_to_zero_without_poisoning_quantiles(
+        samples in latencies(),
+        tinies in 1usize..50,
+    ) {
+        // Sub-MIN_TRACKED observations (e.g. a zero-duration stage) land
+        // in the `below` bucket: they count toward ranks as 0.0 but must
+        // never corrupt the estimates of real observations above them.
+        let mut h = LogHistogram::new();
+        for _ in 0..tinies {
+            h.observe(MIN_TRACKED / 2.0);
+            h.observe(0.0);
+        }
+        for &s in &samples {
+            h.observe(s);
+        }
+        prop_assert_eq!(h.below_count(), 2 * tinies as u64);
+        prop_assert_eq!(h.count(), samples.len() as u64 + 2 * tinies as u64);
+        prop_assert_eq!(h.quantile(1e-9), 0.0);
+        let exact_max = exact_quantile(&samples, 1.0);
+        let estimate_max = h.quantile(1.0);
+        let err = (estimate_max - exact_max).abs() / exact_max;
+        prop_assert!(err <= RELATIVE_ERROR_BOUND, "max off by {err}");
+    }
+}

@@ -465,3 +465,93 @@ fn shutdown_request_flips_the_flag_for_the_hosting_binary() {
     assert!(server.shutdown_requested());
     server.drain();
 }
+
+#[test]
+fn metrics_request_serves_live_prometheus_exposition() {
+    let server = Server::start(base_config()).expect("start");
+    let mut client = connect(&server);
+
+    let ids: Vec<String> = (0..8).map(|i| format!("p{i}")).collect();
+    for id in &ids {
+        client.send_line(&predict_line(id, "atax")).unwrap();
+    }
+    collect_responses(&mut client, &ids);
+
+    let text = client.fetch_metrics("m1").expect("metrics");
+    // Counters come through with dots flattened to underscores and a
+    // matching # TYPE line; latency and per-stage quantile summaries are
+    // present because requests have actually completed.
+    assert!(
+        text.contains("# TYPE serve_requests_accepted counter"),
+        "{text}"
+    );
+    assert!(text.contains("serve_requests_accepted 8"), "{text}");
+    assert!(text.contains("serve_queue_depth "), "{text}");
+    assert!(
+        text.contains("serve_latency_seconds{quantile=\"0.99\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("serve_stage_seconds_predict{quantile=\"0.5\"}"),
+        "{text}"
+    );
+    assert!(text.contains("serve_latency_seconds_count 8"), "{text}");
+    // Exposition text is line-oriented: every line is a comment or a
+    // `name[{labels}] value` sample — nothing the block framing mangled.
+    for line in text.lines() {
+        assert!(
+            line.starts_with('#') || line.split_whitespace().count() == 2,
+            "malformed exposition line: {line:?}"
+        );
+    }
+
+    // The protocol still works after a block-framed response.
+    let pong = client.request("ping z").expect("ping");
+    assert_eq!(pong, Response::ok("z", "pong"));
+    server.drain();
+}
+
+#[test]
+fn trace_request_drains_sampled_request_traces() {
+    let mut cfg = base_config();
+    cfg.trace_sample = 1; // sample everything
+    let server = Server::start(cfg).expect("start");
+    let mut client = connect(&server);
+
+    let ids: Vec<String> = (0..4).map(|i| format!("t{i}")).collect();
+    for id in &ids {
+        client.send_line(&predict_line(id, "gemv")).unwrap();
+    }
+    collect_responses(&mut client, &ids);
+
+    let reply = client.request("trace tr1").expect("trace");
+    let payload = match &reply {
+        Response::Ok { payload, .. } => payload.clone(),
+        other => panic!("trace failed: {}", other.render()),
+    };
+    assert!(payload.starts_with("{\"dropped\":"), "{payload}");
+    assert!(payload.contains("\"traces\":[{"), "{payload}");
+    // Every sampled trace carries the full stage breakdown and outcome.
+    for stage in [
+        "read_parse",
+        "admission",
+        "queue_wait",
+        "batch_assembly",
+        "predict",
+        "respond_flush",
+    ] {
+        assert!(payload.contains(&format!("\"{stage}\":")), "{payload}");
+    }
+    assert!(payload.contains("\"outcome\":\"ok\""), "{payload}");
+    assert!(payload.contains("\"model\":\"gemv\""), "{payload}");
+    assert_eq!(payload.matches("\"trace_id\":").count(), 4, "{payload}");
+
+    // Draining is destructive: a second request finds an empty ring.
+    let again = client.request("trace tr2").expect("trace again");
+    let payload = match &again {
+        Response::Ok { payload, .. } => payload.clone(),
+        other => panic!("trace failed: {}", other.render()),
+    };
+    assert!(payload.ends_with("\"traces\":[]}"), "{payload}");
+    server.drain();
+}
