@@ -1,5 +1,7 @@
 //! Design-choice ablations: CCD vs LHS vs random sampling, forest size,
-//! feature screening, the atax cache/scratchpad what-if, and row policy.
+//! feature screening, the atax cache/scratchpad what-if, row policy, the
+//! weighted ensemble vs the plain forest, and the active-DoE
+//! accuracy-vs-budget curve.
 
 use napel_bench::Options;
 use napel_core::experiments::ablation;
@@ -9,19 +11,16 @@ fn main() {
     let opts = Options::from_env();
     opts.init_telemetry();
     let exec = opts.executor();
+    let apps = opts.workloads();
 
     napel_telemetry::info!("running sampler ablation ({:?})...", opts.scale);
     let io = opts.model_io();
-    let samplers = ablation::sampler_ablation_io(&Workload::ALL, opts.scale, opts.seed, &io, &exec)
+    let samplers = ablation::sampler_ablation_io(&apps, opts.scale, opts.seed, &io, &exec)
         .expect("sampler ablation");
 
     napel_telemetry::info!("running forest-size sweep...");
-    let set = ablation::collect_with_sampler(
-        &Workload::ALL,
-        ablation::Sampler::Ccd,
-        opts.scale,
-        opts.seed,
-    );
+    let set = ablation::collect_with_sampler(&apps, ablation::Sampler::Ccd, opts.scale, opts.seed)
+        .expect("CCD collection");
     let sweep =
         ablation::forest_size_sweep_io(&set, &[10, 30, 60, 120, 240], opts.seed, &io, &exec)
             .expect("forest sweep");
@@ -56,7 +55,7 @@ fn main() {
 
     napel_telemetry::info!("running the offload-cost sensitivity study...");
     println!("\noffload-cost sensitivity (one-time SerDes transfer of the footprint):");
-    for r in ablation::offload_sensitivity(&Workload::ALL, opts.scale) {
+    for r in ablation::offload_sensitivity(&apps, opts.scale) {
         println!(
             "  {:<5} resident EDP {:.3e}  with transfer {:.3e}  (x{:.2})",
             r.workload.name(),
@@ -68,7 +67,7 @@ fn main() {
 
     napel_telemetry::info!("running the row-policy study...");
     println!("\nclosed- vs open-row EDP (J*s) at central configurations:");
-    for (w, closed, open) in ablation::row_policy_study(&Workload::ALL, opts.scale) {
+    for (w, closed, open) in ablation::row_policy_study(&apps, opts.scale) {
         let better = if open < closed { "open" } else { "closed" };
         println!(
             "  {:<5} closed {:.3e}  open {:.3e}  -> {}",
@@ -78,5 +77,25 @@ fn main() {
             better
         );
     }
+
+    napel_telemetry::info!("running the ensemble-vs-forest comparison...");
+    let comparison =
+        ablation::ensemble_vs_forest_io(&set, opts.seed, &io, &exec).expect("ensemble comparison");
+    println!("\nweighted ensemble vs plain forest (LOAO):");
+    print!("{}", ablation::render_ensemble(&comparison));
+
+    napel_telemetry::info!("running the accuracy-vs-budget curve...");
+    let budgets = opts.budget_list(&[5, 7, 9]);
+    let curve = ablation::budget_curve_io(&apps, opts.scale, &budgets, opts.seed, &io, &exec)
+        .expect("budget curve");
+    println!("\naccuracy vs simulation budget (plain CCD prefix vs active sampling):");
+    print!("{}", ablation::render_budget_curve(&curve));
+    let verdict = if curve.active_no_worse(0.05) {
+        "PASS (active sampling no worse than the CCD prefix at equal budget)"
+    } else {
+        "FAIL (active sampling worse than the CCD prefix)"
+    };
+    println!("active-doe verdict: {verdict}");
+
     opts.finish_telemetry();
 }

@@ -27,6 +27,10 @@
 //! - `--model-in DIR|FILE` — load models from stored artifacts instead of
 //!   training (the train-once/predict-many path; takes precedence over
 //!   `--model-out`),
+//! - `--apps LIST` — comma-separated workload subset (default: all 12
+//!   applications) — e.g. `--apps atax,gemv,mvt,syrk` for a smoke run,
+//! - `--budgets LIST` — comma-separated points-per-application budgets for
+//!   the `ablation` accuracy-vs-budget curve (default `5,7,9`),
 //! - `--input PATH` — for `predict`: file of raw feature rows to score,
 //! - `--workload NAME` — for `predict`: profile this workload's test
 //!   input instead of reading `--input`,
@@ -43,7 +47,7 @@ use napel_core::artifact::ModelIo;
 use napel_core::campaign::AnyExecutor;
 use napel_core::fault::{CampaignOptions, CampaignReport, FaultPolicy};
 use napel_core::model::NapelConfig;
-use napel_workloads::Scale;
+use napel_workloads::{Scale, Workload};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +81,10 @@ pub struct Options {
     pub model_out: Option<String>,
     /// Artifact load directory or bundle file (`--model-in`).
     pub model_in: Option<String>,
+    /// Comma-separated workload subset (`--apps`); `None` means all.
+    pub apps: Option<String>,
+    /// Comma-separated accuracy-vs-budget budgets (`--budgets`).
+    pub budgets: Option<String>,
     /// Raw feature-row input file for the `predict` binary (`--input`).
     pub input: Option<String>,
     /// Workload name for the `predict` binary (`--workload`).
@@ -101,6 +109,8 @@ impl Default for Options {
             quiet: false,
             model_out: None,
             model_in: None,
+            apps: None,
+            budgets: None,
             input: None,
             workload: None,
             instructions: 1_000_000,
@@ -174,6 +184,13 @@ impl Options {
                 }
                 "--model-in" => {
                     opts.model_in = Some(args.next().expect("--model-in needs a path"));
+                }
+                "--apps" => {
+                    opts.apps = Some(args.next().expect("--apps needs a comma-separated list"));
+                }
+                "--budgets" => {
+                    opts.budgets =
+                        Some(args.next().expect("--budgets needs a comma-separated list"));
                 }
                 "--input" => {
                     opts.input = Some(args.next().expect("--input needs a path"));
@@ -286,6 +303,45 @@ impl Options {
             .or_else(|| std::env::var_os("NAPEL_MODEL_DIR").map(PathBuf::from));
         let load = self.model_in.clone().map(PathBuf::from);
         ModelIo::new(save, load)
+    }
+
+    /// The workload subset implied by `--apps` (all 12 when absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown application name.
+    pub fn workloads(&self) -> Vec<Workload> {
+        let Some(list) = &self.apps else {
+            return Workload::ALL.to_vec();
+        };
+        list.split(',')
+            .map(|name| {
+                let name = name.trim();
+                Workload::ALL
+                    .into_iter()
+                    .find(|w| w.name() == name)
+                    .unwrap_or_else(|| panic!("unknown application `{name}` in --apps"))
+            })
+            .collect()
+    }
+
+    /// The accuracy-vs-budget budgets implied by `--budgets`, falling back
+    /// to `default` when the flag is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on a malformed list.
+    pub fn budget_list(&self, default: &[usize]) -> Vec<usize> {
+        let Some(list) = &self.budgets else {
+            return default.to_vec();
+        };
+        list.split(',')
+            .map(|n| {
+                n.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--budgets entry `{n}` is not an integer"))
+            })
+            .collect()
     }
 
     /// The NAPEL training configuration implied by the options.
@@ -419,6 +475,23 @@ mod tests {
         assert_eq!(o.workload.as_deref(), Some("atax"));
         assert_eq!(o.instructions, 5_000_000);
         assert_eq!(Options::default().instructions, 1_000_000);
+    }
+
+    #[test]
+    fn apps_and_budgets_flags_parse() {
+        let o = parse(&["--apps", "atax, gemv", "--budgets", "5,7"]);
+        assert_eq!(o.workloads(), vec![Workload::Atax, Workload::Gemv]);
+        assert_eq!(o.budget_list(&[9]), vec![5, 7]);
+
+        let o = parse(&[]);
+        assert_eq!(o.workloads().len(), Workload::ALL.len());
+        assert_eq!(o.budget_list(&[5, 8]), vec![5, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_app_panics() {
+        let _ = parse(&["--apps", "frob"]).workloads();
     }
 
     #[test]

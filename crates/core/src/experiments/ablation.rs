@@ -16,12 +16,23 @@
 //!    what-if on the simulator.
 //! 5. **Closed- vs open-row DRAM policy** across the workloads
 //!    ([`row_policy_study`]).
+//! 6. **Does weighting the paper's baselines into the forest help?** The
+//!    adaptive weighted ensemble vs the plain forest at the same LOAO
+//!    protocol ([`ensemble_vs_forest`]).
+//! 7. **Is a fixed CCD the best way to spend the simulation budget?**
+//!    Accuracy vs points-per-application for a plain CCD prefix against
+//!    CCD-seeded active learning that simulates where the forest's
+//!    per-tree spread is highest ([`budget_curve`]).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use napel_doe::active::active_augment;
 use napel_doe::samplers::{d_optimal, latin_hypercube, random_design};
+use napel_ml::dataset::Dataset;
+use napel_ml::ensemble::{EnsembleParams, NUM_MEMBERS};
 use napel_ml::forest::RandomForestParams;
+use napel_ml::log_space::LogOf;
 use napel_ml::tree::{DecisionTreeParams, FeatureSubset};
 use napel_ml::Estimator;
 use napel_pisa::ApplicationProfile;
@@ -32,7 +43,7 @@ use crate::analysis::{average_mre, loao_accuracy_io};
 use crate::artifact::ModelIo;
 use crate::campaign::{AnyExecutor, Executor};
 use crate::collect::{doe_points, param_space};
-use crate::features::{combined_feature_names, LabeledRun, TrainingSet};
+use crate::features::{combined_feature_names, combined_features, LabeledRun, TrainingSet};
 use crate::NapelError;
 
 /// Training-point sampling strategies under comparison.
@@ -70,12 +81,18 @@ impl Sampler {
 }
 
 /// Collects a training set using the given sampler at the CCD's budget.
+///
+/// # Errors
+///
+/// Propagates [`napel_doe::DesignError`] from the sampler (as
+/// [`NapelError::Design`]) — e.g. a D-optimal request over a space whose
+/// factorial candidate set is intractable.
 pub fn collect_with_sampler(
     workloads: &[Workload],
     sampler: Sampler,
     scale: Scale,
     seed: u64,
-) -> TrainingSet {
+) -> Result<TrainingSet, NapelError> {
     let arch = ArchConfig::paper_default();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut runs = Vec::new();
@@ -87,25 +104,37 @@ pub fn collect_with_sampler(
             Sampler::Ccd => ccd,
             Sampler::LatinHypercube => latin_hypercube(&space, ccd.len(), &mut rng),
             Sampler::Random => random_design(&space, ccd.len(), &mut rng),
-            Sampler::DOptimal => d_optimal(&space, ccd.len(), &mut rng),
+            Sampler::DOptimal => d_optimal(&space, ccd.len(), &mut rng)?,
         };
-        for p in points {
-            let trace = w.generate(p.coords(), scale);
-            let profile = ApplicationProfile::of(&trace);
-            let report = NmcSystem::new(arch.clone()).run(&trace);
-            runs.push(LabeledRun::from_report(
-                w,
-                p.coords().to_vec(),
-                &profile,
-                &arch,
-                &report,
-            ));
-        }
+        simulate_points(w, &points, scale, &arch, &mut runs);
     }
-    TrainingSet {
+    Ok(TrainingSet {
         feature_names: combined_feature_names(),
         runs,
         stats: Default::default(),
+    })
+}
+
+/// Simulates each design point of one workload and appends the labeled
+/// rows (shared by [`collect_with_sampler`] and the active-learning loop).
+fn simulate_points(
+    w: Workload,
+    points: &[napel_doe::DesignPoint],
+    scale: Scale,
+    arch: &ArchConfig,
+    runs: &mut Vec<LabeledRun>,
+) {
+    for p in points {
+        let trace = w.generate(p.coords(), scale);
+        let profile = ApplicationProfile::of(&trace);
+        let report = NmcSystem::new(arch.clone()).run(&trace);
+        runs.push(LabeledRun::from_report(
+            w,
+            p.coords().to_vec(),
+            &profile,
+            arch,
+            &report,
+        ));
     }
 }
 
@@ -164,13 +193,318 @@ pub fn sampler_ablation_io<E: Executor>(
     let est = super::fig5::napel_estimator();
     let mut rows = Vec::new();
     for sampler in Sampler::ALL {
-        let set = collect_with_sampler(workloads, sampler, scale, seed);
+        let set = collect_with_sampler(workloads, sampler, scale, seed)?;
         let prefix = format!("ablation-sampler-{}", sampler.name());
         let results = loao_accuracy_io(&est, &set, seed, io, &prefix, exec)?;
         let (p, e) = average_mre(&results);
         rows.push((sampler, p, e));
     }
     Ok(SamplerAblation { rows })
+}
+
+/// The weighted-ensemble configuration under comparison: the fig5 forest
+/// plus the fig5 baselines (ANN, model tree) and a ridge floor as
+/// co-members, in log space like every pipeline estimator.
+pub fn ensemble_estimator() -> LogOf<EnsembleParams> {
+    LogOf(EnsembleParams {
+        forest: super::fig5::napel_estimator(),
+        mlp: super::fig5::ann_estimator(),
+        model_tree: super::fig5::dtree_estimator(),
+        ..EnsembleParams::default()
+    })
+}
+
+/// Result of the ensemble-vs-forest comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleComparison {
+    /// Plain-forest (perf, energy) average LOAO MRE.
+    pub forest: (f64, f64),
+    /// Weighted-ensemble (perf, energy) average LOAO MRE.
+    pub ensemble: (f64, f64),
+    /// Weights the ensemble adapted to on the full training set, in
+    /// member order (forest, model tree, MLP, ridge).
+    pub weights: [f64; NUM_MEMBERS],
+}
+
+/// Compares the adaptive weighted ensemble against the plain fig5 forest
+/// at the same LOAO protocol and seed.
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn ensemble_vs_forest(set: &TrainingSet, seed: u64) -> Result<EnsembleComparison, NapelError> {
+    ensemble_vs_forest_io(set, seed, &ModelIo::none(), &AnyExecutor::from_env())
+}
+
+/// [`ensemble_vs_forest`] threaded through an artifact policy and an
+/// explicit executor: fold models are saved as (or loaded from)
+/// `<dir>/ablation-ens-{forest,weighted}-<workload>.napel`.
+///
+/// # Errors
+///
+/// Propagates estimator failures; [`crate::NapelError::Artifact`] on
+/// save/load failures or schema mismatches.
+pub fn ensemble_vs_forest_io<E: Executor>(
+    set: &TrainingSet,
+    seed: u64,
+    io: &ModelIo,
+    exec: &E,
+) -> Result<EnsembleComparison, NapelError> {
+    let forest = loao_accuracy_io(
+        &LogOf(super::fig5::napel_estimator()),
+        set,
+        seed,
+        io,
+        "ablation-ens-forest",
+        exec,
+    )?;
+    let est = ensemble_estimator();
+    let ens = loao_accuracy_io(&est, set, seed, io, "ablation-ens-weighted", exec)?;
+    // One fit on the full set to report where the weights landed.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fitted = est.fit(&set.ipc_dataset()?, &mut rng)?;
+    Ok(EnsembleComparison {
+        forest: average_mre(&forest),
+        ensemble: average_mre(&ens),
+        weights: fitted.inner().weights(),
+    })
+}
+
+/// Renders the ensemble-vs-forest comparison.
+pub fn render_ensemble(c: &EnsembleComparison) -> String {
+    let [wf, wt, wm, wr] = c.weights;
+    format!(
+        "forest    {:.1}% perf / {:.1}% energy MRE\n\
+         ensemble  {:.1}% perf / {:.1}% energy MRE\n\
+         adapted weights (forest, model tree, mlp, ridge): [{wf:.3}, {wt:.3}, {wm:.3}, {wr:.3}]\n",
+        c.forest.0 * 100.0,
+        c.forest.1 * 100.0,
+        c.ensemble.0 * 100.0,
+        c.ensemble.1 * 100.0,
+    )
+}
+
+/// Candidate-pool size per active-learning round: large enough that the
+/// spread landscape is sampled, small enough that profiling the pool stays
+/// cheap next to a simulation.
+pub const ACTIVE_POOL: usize = 16;
+
+/// Collects a per-application *prefix* of the CCD — the plain arm of the
+/// accuracy-vs-budget comparison. `budget` is points per application,
+/// capped at each application's full (deduplicated) CCD.
+pub fn collect_ccd_prefix(workloads: &[Workload], budget: usize, scale: Scale) -> TrainingSet {
+    let arch = ArchConfig::paper_default();
+    let mut runs = Vec::new();
+    for &w in workloads {
+        let ccd = doe_points(&w.spec(), true);
+        let n = budget.min(ccd.len());
+        simulate_points(w, &ccd[..n], scale, &arch, &mut runs);
+    }
+    TrainingSet {
+        feature_names: combined_feature_names(),
+        runs,
+        stats: Default::default(),
+    }
+}
+
+/// Collects the active arm: per application, half the budget is the CCD
+/// prefix seed, then [`napel_doe::active::active_augment`] spends the rest
+/// one simulation at a time where a forest surrogate's per-tree spread
+/// over the candidate pool is highest. Candidates are scored without
+/// simulating them (trace generation + profiling only); each committed
+/// point is then simulated and the surrogate refit before the next round.
+///
+/// # Errors
+///
+/// Propagates [`napel_doe::DesignError`] from the augmentation loop (as
+/// [`NapelError::Design`]).
+pub fn collect_active(
+    workloads: &[Workload],
+    budget: usize,
+    pool: usize,
+    scale: Scale,
+    seed: u64,
+) -> Result<TrainingSet, NapelError> {
+    let arch = ArchConfig::paper_default();
+    let surrogate = LogOf(RandomForestParams {
+        num_trees: 40,
+        tree: DecisionTreeParams {
+            feature_subset: FeatureSubset::Third,
+            ..DecisionTreeParams::default()
+        },
+        bootstrap: true,
+    });
+    let mut pick_rng = StdRng::seed_from_u64(seed ^ 0xAC71_4E01);
+    let mut fit_rng = StdRng::seed_from_u64(seed ^ 0x5EED_F0E5);
+    let mut runs = Vec::new();
+    for &w in workloads {
+        let spec = w.spec();
+        let space = param_space(&spec);
+        let ccd = doe_points(&spec, true);
+        let budget = budget.min(ccd.len());
+        let seed_len = (budget / 2).max(3).min(budget);
+        let seed_pts = &ccd[..seed_len];
+        let mut wruns: Vec<LabeledRun> = Vec::new();
+        simulate_points(w, seed_pts, scale, &arch, &mut wruns);
+        let mut simulated = seed_len;
+        let design = active_augment(
+            &space,
+            seed_pts,
+            budget - seed_len,
+            pool,
+            &mut pick_rng,
+            |design, cands| {
+                // Simulate the points committed since the last round, then
+                // refit the surrogate on everything labeled so far.
+                if design.len() > simulated {
+                    simulate_points(w, &design[simulated..], scale, &arch, &mut wruns);
+                    simulated = design.len();
+                }
+                let mut spread = || -> Option<Vec<f64>> {
+                    let mut b = Dataset::builder(combined_feature_names());
+                    for r in &wruns {
+                        b.push_row(r.features.clone(), r.ipc).ok()?;
+                    }
+                    let model = surrogate.fit(&b.build().ok()?, &mut fit_rng).ok()?;
+                    let rows: Vec<Vec<f64>> = cands
+                        .iter()
+                        .map(|p| {
+                            let trace = w.generate(p.coords(), scale);
+                            combined_features(&ApplicationProfile::of(&trace), &arch)
+                        })
+                        .collect();
+                    Some(model.inner().prediction_std_many(&rows))
+                };
+                // A surrogate that cannot fit (degenerate rows) scores
+                // everything equally: the round degrades to the pool's
+                // first candidate rather than failing the campaign.
+                spread().unwrap_or_else(|| vec![0.0; cands.len()])
+            },
+        )?;
+        if design.len() > simulated {
+            simulate_points(w, &design[simulated..], scale, &arch, &mut wruns);
+        }
+        runs.append(&mut wruns);
+    }
+    Ok(TrainingSet {
+        feature_names: combined_feature_names(),
+        runs,
+        stats: Default::default(),
+    })
+}
+
+/// One budget level of the accuracy-vs-simulation-budget comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetPoint {
+    /// Simulated points per application.
+    pub budget: usize,
+    /// Plain CCD prefix (perf, energy) average LOAO MRE.
+    pub ccd: (f64, f64),
+    /// Active sampling (perf, energy) average LOAO MRE.
+    pub active: (f64, f64),
+}
+
+/// The accuracy-vs-budget curve: plain CCD prefix vs active sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetCurve {
+    /// One point per requested budget.
+    pub points: Vec<BudgetPoint>,
+}
+
+impl BudgetCurve {
+    /// Whether active sampling is no worse than the plain CCD prefix on
+    /// average across the curve (perf MRE), within a relative `slack` —
+    /// the CI gate for the active-DoE loop.
+    pub fn active_no_worse(&self, slack: f64) -> bool {
+        let n = self.points.len().max(1) as f64;
+        let ccd = self.points.iter().map(|p| p.ccd.0).sum::<f64>() / n;
+        let active = self.points.iter().map(|p| p.active.0).sum::<f64>() / n;
+        active <= ccd * (1.0 + slack)
+    }
+}
+
+/// Runs the accuracy-vs-budget comparison at each of `budgets` points per
+/// application.
+///
+/// # Errors
+///
+/// Propagates estimator failures and design errors.
+pub fn budget_curve(
+    workloads: &[Workload],
+    scale: Scale,
+    budgets: &[usize],
+    seed: u64,
+) -> Result<BudgetCurve, NapelError> {
+    budget_curve_io(
+        workloads,
+        scale,
+        budgets,
+        seed,
+        &ModelIo::none(),
+        &AnyExecutor::from_env(),
+    )
+}
+
+/// [`budget_curve`] threaded through an artifact policy and an explicit
+/// executor: fold models are saved as (or loaded from)
+/// `<dir>/ablation-budget-{ccd,active}-<budget>-<workload>.napel`.
+///
+/// # Errors
+///
+/// Propagates estimator failures and design errors;
+/// [`crate::NapelError::Artifact`] on save/load failures or schema
+/// mismatches.
+pub fn budget_curve_io<E: Executor>(
+    workloads: &[Workload],
+    scale: Scale,
+    budgets: &[usize],
+    seed: u64,
+    io: &ModelIo,
+    exec: &E,
+) -> Result<BudgetCurve, NapelError> {
+    let est = LogOf(super::fig5::napel_estimator());
+    let mut points = Vec::new();
+    for &b in budgets {
+        let ccd_set = collect_ccd_prefix(workloads, b, scale);
+        let prefix = format!("ablation-budget-ccd-{b}");
+        let ccd = loao_accuracy_io(&est, &ccd_set, seed, io, &prefix, exec)?;
+        let active_set = collect_active(workloads, b, ACTIVE_POOL, scale, seed)?;
+        let prefix = format!("ablation-budget-active-{b}");
+        let active = loao_accuracy_io(&est, &active_set, seed, io, &prefix, exec)?;
+        points.push(BudgetPoint {
+            budget: b,
+            ccd: average_mre(&ccd),
+            active: average_mre(&active),
+        });
+    }
+    Ok(BudgetCurve { points })
+}
+
+/// Renders the accuracy-vs-budget curve.
+pub fn render_budget_curve(curve: &BudgetCurve) -> String {
+    let body: Vec<Vec<String>> = curve
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.budget.to_string(),
+                format!("{:.1}%", p.ccd.0 * 100.0),
+                format!("{:.1}%", p.active.0 * 100.0),
+                format!("{:.1}%", p.ccd.1 * 100.0),
+                format!("{:.1}%", p.active.1 * 100.0),
+            ]
+        })
+        .collect();
+    super::render_table(
+        &[
+            "Budget/app",
+            "ccd perf",
+            "active perf",
+            "ccd energy",
+            "active energy",
+        ],
+        &body,
+    )
 }
 
 /// Result of the forest-size sweep: `(num_trees, perf MRE)` points.
@@ -474,7 +808,8 @@ mod tests {
             Sampler::Ccd,
             Scale::tiny(),
             5,
-        );
+        )
+        .unwrap();
         let sweep = forest_size_sweep(&set, &[5, 20], 5).unwrap();
         assert_eq!(sweep.points.len(), 2);
         let s = render(
@@ -485,13 +820,83 @@ mod tests {
     }
 
     #[test]
+    fn ccd_prefix_respects_the_budget() {
+        let set = collect_ccd_prefix(&[Workload::Atax, Workload::Gemv], 5, Scale::tiny());
+        for w in [Workload::Atax, Workload::Gemv] {
+            let n = set.runs.iter().filter(|r| r.workload == w).count();
+            assert_eq!(n, 5, "{w}");
+        }
+        // A budget past the CCD caps at the full design.
+        let full = collect_ccd_prefix(&[Workload::Atax], 10_000, Scale::tiny());
+        let ccd_len = doe_points(&Workload::Atax.spec(), true).len();
+        assert_eq!(full.runs.len(), ccd_len);
+    }
+
+    #[test]
+    fn active_collection_reaches_the_budget_and_differs_from_ccd() {
+        let apps = [Workload::Atax, Workload::Gemv];
+        let active = collect_active(&apps, 7, ACTIVE_POOL, Scale::tiny(), 9).unwrap();
+        for w in apps {
+            let n = active.runs.iter().filter(|r| r.workload == w).count();
+            assert_eq!(n, 7, "{w}");
+        }
+        // The non-seed points come from the hypercube, not the CCD grid:
+        // the two arms must not collapse into the same design.
+        let plain = collect_ccd_prefix(&apps, 7, Scale::tiny());
+        assert_ne!(
+            active.content_hash(),
+            plain.content_hash(),
+            "active sampling should leave the CCD prefix"
+        );
+        // Same seed, same campaign.
+        let again = collect_active(&apps, 7, ACTIVE_POOL, Scale::tiny(), 9).unwrap();
+        assert_eq!(active.content_hash(), again.content_hash());
+    }
+
+    #[test]
+    fn budget_curve_runs_and_renders() {
+        let apps = [Workload::Atax, Workload::Gemv];
+        let curve = budget_curve(&apps, Scale::tiny(), &[5, 7], 11).unwrap();
+        assert_eq!(curve.points.len(), 2);
+        for p in &curve.points {
+            assert!(p.ccd.0.is_finite() && p.active.0.is_finite());
+            assert!(p.ccd.1.is_finite() && p.active.1.is_finite());
+        }
+        let s = render_budget_curve(&curve);
+        assert!(s.contains("Budget/app") && s.contains("active perf"));
+        // The CI gate is callable with any slack; with infinite slack it
+        // must accept.
+        assert!(curve.active_no_worse(f64::INFINITY));
+    }
+
+    #[test]
+    fn ensemble_comparison_reports_floored_weights() {
+        let set = collect_with_sampler(
+            &[Workload::Atax, Workload::Gemv],
+            Sampler::Ccd,
+            Scale::tiny(),
+            13,
+        )
+        .unwrap();
+        let c = ensemble_vs_forest(&set, 13).unwrap();
+        assert!(c.forest.0.is_finite() && c.ensemble.0.is_finite());
+        assert!(c
+            .weights
+            .iter()
+            .all(|&w| w >= napel_ml::ensemble::DEFAULT_WEIGHT_FLOOR));
+        let s = render_ensemble(&c);
+        assert!(s.contains("adapted weights"));
+    }
+
+    #[test]
     fn screening_keeps_requested_feature_counts() {
         let set = collect_with_sampler(
             &[Workload::Atax, Workload::Gemv],
             Sampler::Ccd,
             Scale::tiny(),
             7,
-        );
+        )
+        .unwrap();
         let points = screening_ablation(&set, &[10, 50], 7).unwrap();
         assert_eq!(points.len(), 3); // all + two subsets
         assert_eq!(points[0].kept, usize::MAX);

@@ -288,7 +288,10 @@ impl TrainingSet {
         for r in &self.runs {
             b.push_row(r.features.clone(), label(r))?;
         }
-        Ok(b.build()?)
+        // Carry the per-row application label so group-aware estimators
+        // (the weighted ensemble) can adapt on leave-one-application-out
+        // folds, matching the evaluation protocol.
+        Ok(b.build()?.with_groups(self.groups())?)
     }
 
     /// FNV-1a content hash over the feature schema and every row

@@ -402,19 +402,21 @@ impl TrainedNapel {
             .collect::<Result<Vec<_>, NapelError>>()?;
         let ipc = self.perf.predict_many(rows);
         let energy = self.energy.predict_many(rows);
-        let out = rows
-            .iter()
-            .zip(freqs)
+        // One pass over the forest for all rows' spreads; bit-identical to
+        // calling `prediction_std` per row (see `prediction_std_many`).
+        let spreads = self.perf.inner().prediction_std_many(rows);
+        let out = freqs
+            .into_iter()
             .zip(ipc.into_iter().zip(energy))
-            .map(|((x, freq_ghz), (ipc, energy_per_inst_pj))| {
-                let spread = self.perf.inner().prediction_std(x).exp();
+            .zip(spreads)
+            .map(|((freq_ghz, (ipc, energy_per_inst_pj)), spread)| {
                 (
                     Prediction {
                         ipc,
                         energy_per_inst_pj,
                         freq_ghz,
                     },
-                    spread,
+                    spread.exp(),
                 )
             })
             .collect();
@@ -632,6 +634,20 @@ mod tests {
                 trained.predict_row(&rows[i]).unwrap().ipc.to_bits()
             );
             assert!(*spread >= 1.0);
+        }
+    }
+
+    #[test]
+    fn predict_batch_spread_matches_per_row_walk() {
+        // Regression: the batched spread path must be bit-identical to
+        // walking the forest per row the way predict_with_uncertainty does.
+        let set = tiny_set();
+        let trained = Napel::new(NapelConfig::untuned()).train(&set).unwrap();
+        let rows: Vec<Vec<f64>> = set.runs.iter().map(|r| r.features.clone()).collect();
+        let out = trained.predict_batch(&rows).unwrap();
+        for (row, (_, spread)) in rows.iter().zip(&out) {
+            let per_row = trained.perf_forest().prediction_std(row).exp();
+            assert_eq!(spread.to_bits(), per_row.to_bits());
         }
     }
 

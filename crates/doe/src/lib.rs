@@ -15,6 +15,9 @@
 //!   minimum/maximum, replicated center points),
 //! - [`samplers`] — baseline strategies for ablation: full factorial, uniform
 //!   random, Latin hypercube, and D-optimal (Fedorov exchange),
+//! - [`active`] — active-learning augmentation: grow a seed design by
+//!   greedily adding the candidate with the highest caller-supplied
+//!   uncertainty score (for NAPEL, per-tree forest spread),
 //! - [`DesignPoint`] — one concrete input configuration.
 //!
 //! # Example
@@ -32,6 +35,7 @@
 //! # Ok::<(), napel_doe::DesignError>(())
 //! ```
 
+pub mod active;
 pub mod ccd;
 pub mod samplers;
 mod space;

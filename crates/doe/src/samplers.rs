@@ -9,24 +9,27 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::space::{DesignPoint, Level, ParamSpace};
+use crate::space::{DesignError, DesignPoint, Level, ParamSpace};
+
+/// Largest full factorial [`full_factorial`] will enumerate; anything
+/// bigger is the brute force the paper argues is intractable.
+const MAX_FACTORIAL_POINTS: usize = 1_000_000;
 
 /// Full five-level factorial design (`5^k` points) — the brute-force
 /// reference whose cost DoE exists to avoid.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the factorial would exceed `1_000_000` points; brute force at
-/// that scale is exactly what the paper argues is intractable.
-pub fn full_factorial(space: &ParamSpace) -> Vec<DesignPoint> {
+/// Returns [`DesignError::FactorialIntractable`] if the factorial would
+/// exceed `1_000_000` points (which subsumes arithmetic overflow of
+/// `5^k`); typed, like [`crate::ccd::central_composite`], so campaign
+/// drivers surface a bad space as an error instead of a panic.
+pub fn full_factorial(space: &ParamSpace) -> Result<Vec<DesignPoint>, DesignError> {
     let k = space.dims();
     let total = 5usize
-        .checked_pow(k as u32)
-        .expect("factorial size overflow");
-    assert!(
-        total <= 1_000_000,
-        "full factorial of {total} points is intractable"
-    );
+        .checked_pow(k.min(u32::MAX as usize) as u32)
+        .filter(|&t| t <= MAX_FACTORIAL_POINTS)
+        .ok_or(DesignError::FactorialIntractable { dims: k })?;
     let mut out = Vec::with_capacity(total);
     let mut idx = vec![0usize; k];
     loop {
@@ -39,7 +42,7 @@ pub fn full_factorial(space: &ParamSpace) -> Vec<DesignPoint> {
         let mut i = 0;
         loop {
             if i == k {
-                return out;
+                return Ok(out);
             }
             idx[i] += 1;
             if idx[i] < 5 {
@@ -111,24 +114,26 @@ pub fn latin_hypercube<R: Rng + ?Sized>(
 /// full-quadratic model matrix (intercept, linear, two-way interaction, and
 /// square terms) over normalized coordinates.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n` is smaller than the number of quadratic model terms
-/// (the information matrix would be singular) or larger than the candidate
-/// set.
-pub fn d_optimal<R: Rng + ?Sized>(space: &ParamSpace, n: usize, rng: &mut R) -> Vec<DesignPoint> {
-    let candidates = full_factorial(space);
+/// Returns [`DesignError::InfeasibleSize`] if `n` is smaller than the
+/// number of quadratic model terms (the information matrix would be
+/// singular) or larger than the candidate set, and propagates
+/// [`DesignError::FactorialIntractable`] from the candidate enumeration.
+pub fn d_optimal<R: Rng + ?Sized>(
+    space: &ParamSpace,
+    n: usize,
+    rng: &mut R,
+) -> Result<Vec<DesignPoint>, DesignError> {
+    let candidates = full_factorial(space)?;
     let terms = quadratic_terms(space.dims());
-    assert!(
-        n >= terms,
-        "D-optimal design needs at least {terms} points for a {}-parameter quadratic model",
-        space.dims()
-    );
-    assert!(
-        n <= candidates.len(),
-        "cannot pick {n} of {} candidates",
-        candidates.len()
-    );
+    if n < terms || n > candidates.len() {
+        return Err(DesignError::InfeasibleSize {
+            requested: n,
+            min: terms,
+            max: candidates.len(),
+        });
+    }
 
     let rows: Vec<Vec<f64>> = candidates
         .iter()
@@ -168,7 +173,7 @@ pub fn d_optimal<R: Rng + ?Sized>(space: &ParamSpace, n: usize, rng: &mut R) -> 
             }
         }
     }
-    chosen.into_iter().map(|i| candidates[i].clone()).collect()
+    Ok(chosen.into_iter().map(|i| candidates[i].clone()).collect())
 }
 
 /// Number of terms in the full quadratic model for `k` parameters.
@@ -250,7 +255,7 @@ mod tests {
 
     #[test]
     fn factorial_enumerates_all_level_combos() {
-        let pts = full_factorial(&space2());
+        let pts = full_factorial(&space2()).unwrap();
         assert_eq!(pts.len(), 25);
         let mut seen = std::collections::HashSet::new();
         for p in &pts {
@@ -297,20 +302,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 9;
         let terms = quadratic_terms(2);
-        let rows: Vec<Vec<f64>> = full_factorial(&s)
+        let candidates = full_factorial(&s).unwrap();
+        let rows: Vec<Vec<f64>> = candidates
             .iter()
             .map(|p| quadratic_row(&s.normalize(p)))
             .collect();
 
-        let dopt = d_optimal(&s, n, &mut rng);
+        let dopt = d_optimal(&s, n, &mut rng).unwrap();
         let dopt_idx: Vec<usize> = dopt
             .iter()
-            .map(|p| {
-                full_factorial(&s)
-                    .iter()
-                    .position(|q| q.approx_eq(p))
-                    .unwrap()
-            })
+            .map(|p| candidates.iter().position(|q| q.approx_eq(p)).unwrap())
             .collect();
         let dopt_val = log_det_information(&rows, &dopt_idx, terms);
 
@@ -331,10 +332,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs at least")]
     fn d_optimal_rejects_undersized_designs() {
         let mut rng = StdRng::seed_from_u64(4);
-        let _ = d_optimal(&space2(), 3, &mut rng);
+        let err = d_optimal(&space2(), 3, &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            DesignError::InfeasibleSize {
+                requested: 3,
+                min: quadratic_terms(2),
+                max: 25,
+            }
+        );
+    }
+
+    #[test]
+    fn d_optimal_rejects_oversized_designs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = d_optimal(&space2(), 26, &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            DesignError::InfeasibleSize {
+                requested: 26,
+                min: quadratic_terms(2),
+                max: 25,
+            }
+        );
+        assert!(err.to_string().contains("feasible range 6..=25"), "{err}");
+    }
+
+    #[test]
+    fn factorial_rejects_intractable_spaces() {
+        // 5^9 = 1_953_125 > 1_000_000: typed error, not a panic.
+        let space = ParamSpace::new(
+            (0..9)
+                .map(|i| ParamDef::new(format!("p{i}"), [0.0, 1.0, 2.0, 3.0, 4.0]).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let err = full_factorial(&space).unwrap_err();
+        assert_eq!(err, DesignError::FactorialIntractable { dims: 9 });
+        assert!(err.to_string().contains("tractability bound"), "{err}");
+        // ...and d_optimal propagates it rather than enumerating.
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            d_optimal(&space, 100, &mut rng).unwrap_err(),
+            DesignError::FactorialIntractable { dims: 9 }
+        );
     }
 
     #[test]

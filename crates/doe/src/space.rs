@@ -81,6 +81,23 @@ pub enum DesignError {
         /// Dimensions of the offending space.
         dims: usize,
     },
+    /// A full five-level factorial over this many parameters exceeds the
+    /// tractability bound — brute force at that scale is exactly what DoE
+    /// exists to avoid.
+    FactorialIntractable {
+        /// Dimensions of the offending space.
+        dims: usize,
+    },
+    /// A requested design size is infeasible for the strategy: too few
+    /// points to fit its model, or more points than the candidate set.
+    InfeasibleSize {
+        /// Points requested.
+        requested: usize,
+        /// Smallest feasible size.
+        min: usize,
+        /// Largest feasible size.
+        max: usize,
+    },
 }
 
 impl fmt::Display for DesignError {
@@ -104,6 +121,24 @@ impl fmt::Display for DesignError {
                     f,
                     "a {dims}-parameter space needs 2^{dims} factorial corner \
                      points, which is unrepresentable"
+                )
+            }
+            DesignError::FactorialIntractable { dims } => {
+                write!(
+                    f,
+                    "a full five-level factorial over {dims} parameters needs \
+                     5^{dims} points, past the 1000000-point tractability bound"
+                )
+            }
+            DesignError::InfeasibleSize {
+                requested,
+                min,
+                max,
+            } => {
+                write!(
+                    f,
+                    "a {requested}-point design is outside the feasible \
+                     range {min}..={max} for this strategy"
                 )
             }
         }

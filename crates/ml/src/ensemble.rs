@@ -1,0 +1,639 @@
+//! Adaptive weighted-voting ensemble over the crate's estimator families.
+//!
+//! The paper's title promises *ensemble learning*; this module combines all
+//! four estimator families — random forest, model tree, MLP, and ridge —
+//! into one predictor the way the Amorsize exemplar combines its k-NN /
+//! linear / cluster strategies: **weighted voting with adaptive weights**,
+//! where the vote is a weighted median so one wayward member cannot drag
+//! the prediction (see [`weighted_median`]).
+//! Per-strategy weights start equal, then adapt by exponential moving
+//! average of each member's normalized per-fold validation error
+//! (`|pred − actual| / max(1, |actual|)`), with a minimum-weight floor so
+//! no strategy is ever excluded outright. Weights are part of the fitted
+//! model and round-trip bit-exactly through [`crate::persist`] (kind token
+//! `ensemble`), so adaptation accumulated in one training session resumes
+//! — rather than resets — in the next via
+//! [`EnsembleParams::with_prior_weights`].
+
+use rand::RngCore;
+
+use crate::cv::{k_fold, leave_one_group_out};
+use crate::dataset::Dataset;
+use crate::forest::{RandomForest, RandomForestParams};
+use crate::linear::{Ridge, RidgeParams};
+use crate::mlp::{Mlp, MlpParams};
+use crate::model_tree::{ModelTree, ModelTreeParams};
+use crate::{Estimator, MlError, Regressor};
+
+/// Number of member strategies (forest, model tree, MLP, ridge).
+pub const NUM_MEMBERS: usize = 4;
+
+/// Default adaptive learning rate (the exemplar's conservative 0.05).
+pub const DEFAULT_LEARNING_RATE: f64 = 0.05;
+
+/// Default minimum weight: no strategy's raw weight falls below this, so
+/// every member keeps a vote and can recover if it starts predicting well.
+/// Kept small because a catastrophically wrong member (ridge extrapolating
+/// energy to an unseen application) pollutes the vote in proportion to its
+/// normalized weight.
+pub const DEFAULT_WEIGHT_FLOOR: f64 = 0.05;
+
+/// Fewest rows for which weight adaptation runs (the exemplar's
+/// `MIN_SAMPLES_FOR_ENSEMBLE` idea): below this, per-fold error estimates
+/// are noise, so the fit keeps its starting weights.
+pub const MIN_ADAPTATION_ROWS: usize = 8;
+
+/// Hyper-parameters of the weighted ensemble: one configuration per member
+/// family plus the weight-adaptation policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleParams {
+    /// Random-forest member (the paper's headline estimator).
+    pub forest: RandomForestParams,
+    /// Model-tree member (Guo et al. baseline).
+    pub model_tree: ModelTreeParams,
+    /// MLP member (Ipek et al. baseline).
+    pub mlp: MlpParams,
+    /// Ridge member (cheap linear floor).
+    pub ridge: RidgeParams,
+    /// EMA learning rate for weight adaptation, in `(0, 1)`.
+    pub learning_rate: f64,
+    /// Minimum raw weight per strategy, in `(0, 1]`.
+    pub weight_floor: f64,
+    /// Cross-validation folds used to estimate per-fold member errors
+    /// (clamped to the sample count).
+    pub cv_folds: usize,
+    /// EMA steps applied per fit toward the fold-derived member scores:
+    /// more passes let a single session converge further toward the
+    /// members' observed quality, fewer preserve more of the prior
+    /// weights' cross-session memory.
+    pub adaptation_passes: usize,
+    /// Starting weights. `None` starts equal (a fresh ensemble);
+    /// `Some(w)` resumes from a previous session's adapted weights.
+    pub prior_weights: Option<[f64; NUM_MEMBERS]>,
+}
+
+impl Default for EnsembleParams {
+    fn default() -> Self {
+        EnsembleParams {
+            forest: RandomForestParams::default(),
+            model_tree: ModelTreeParams::default(),
+            mlp: MlpParams::default(),
+            ridge: RidgeParams::default(),
+            learning_rate: DEFAULT_LEARNING_RATE,
+            weight_floor: DEFAULT_WEIGHT_FLOOR,
+            cv_folds: 4,
+            // Enough EMA steps that the weights converge to the observed
+            // member quality within one session: with the conservative
+            // per-step rate, a bad member must actually approach the
+            // floor rather than linger near its starting weight.
+            adaptation_passes: 60,
+            prior_weights: None,
+        }
+    }
+}
+
+impl EnsembleParams {
+    /// Returns the same configuration resuming from previously adapted
+    /// weights (e.g. read back from a persisted [`WeightedEnsemble`]), so
+    /// learning accumulates across training sessions instead of resetting.
+    #[must_use]
+    pub fn with_prior_weights(mut self, weights: [f64; NUM_MEMBERS]) -> Self {
+        self.prior_weights = Some(weights);
+        self
+    }
+
+    fn validate(&self) -> Result<(), MlError> {
+        if !(self.learning_rate > 0.0 && self.learning_rate < 1.0) {
+            return Err(MlError::InvalidHyperParameter {
+                what: "ensemble learning_rate must be in (0, 1)",
+            });
+        }
+        if !(self.weight_floor > 0.0 && self.weight_floor <= 1.0) {
+            return Err(MlError::InvalidHyperParameter {
+                what: "ensemble weight_floor must be in (0, 1]",
+            });
+        }
+        if let Some(w) = &self.prior_weights {
+            if w.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+                return Err(MlError::InvalidHyperParameter {
+                    what: "ensemble prior weights must be finite and positive",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Estimator for EnsembleParams {
+    type Model = WeightedEnsemble;
+
+    fn fit(&self, data: &Dataset, rng: &mut dyn RngCore) -> Result<WeightedEnsemble, MlError> {
+        self.validate()?;
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let telemetry = napel_telemetry::global();
+        let _span = telemetry
+            .span("ml.ensemble.fit")
+            .attr("rows", data.len())
+            .attr("folds", self.cv_folds);
+
+        let mut weights = self
+            .prior_weights
+            .unwrap_or([1.0; NUM_MEMBERS])
+            .map(|w| w.max(self.weight_floor));
+
+        // Per-fold member errors drive the EMA. Too few rows to
+        // cross-validate (or a degenerate member on some fold) is the
+        // exemplar's "insufficient data" case: keep the starting weights
+        // rather than fail — the full-data members below still decide
+        // whether the fit succeeds at all.
+        if let Some(fold_errors) = self.per_fold_errors(data, rng) {
+            // Collapse the folds into one error estimate per member (an
+            // EMA over folds, seeded by the first) BEFORE converting to a
+            // score. Averaging errors keeps a catastrophic fold's
+            // magnitude visible; averaging per-fold scores would let a
+            // member that narrowly wins three folds and explodes on the
+            // fourth (ridge extrapolating energy to an unseen
+            // application) still look good on average.
+            let alpha = 2.0 / (fold_errors.len() as f64 + 1.0);
+            let mut est = fold_errors[0];
+            for errs in fold_errors.iter().skip(1) {
+                for (a, e) in est.iter_mut().zip(errs) {
+                    *a = (1.0 - alpha) * *a + alpha * e;
+                }
+            }
+            for _ in 0..self.adaptation_passes {
+                update_weights(&mut weights, &est, self.learning_rate, self.weight_floor);
+            }
+        }
+
+        Ok(WeightedEnsemble {
+            forest: self.forest.fit(data, rng)?,
+            model_tree: self.model_tree.fit(data, rng)?,
+            mlp: self.mlp.fit(data, rng)?,
+            ridge: self.ridge.fit(data, rng)?,
+            weights,
+            num_features: data.num_features(),
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ensemble(lr={}, floor={}, passes={}, members=[{}, {}, {}, {}])",
+            self.learning_rate,
+            self.weight_floor,
+            self.adaptation_passes,
+            self.forest.describe(),
+            self.model_tree.describe(),
+            self.mlp.describe(),
+            self.ridge.describe()
+        )
+    }
+}
+
+impl EnsembleParams {
+    /// Mean normalized validation error of every member on every fold, in
+    /// fold order, or `None` when the data cannot support the scheme
+    /// (too few rows, or a member that cannot fit a fold's subset).
+    ///
+    /// When the dataset carries group labels (e.g. which application each
+    /// row came from), the folds are leave-one-group-out: a member's error
+    /// then measures generalization to an *unseen group*, which is the
+    /// regime the ensemble is evaluated in. Random k-folds mix every group
+    /// into both sides, so an interpolating member (ridge on a wide
+    /// feature set) looks deceptively good and earns weight it cannot
+    /// justify out of distribution.
+    fn per_fold_errors(
+        &self,
+        data: &Dataset,
+        rng: &mut dyn RngCore,
+    ) -> Option<Vec<[f64; NUM_MEMBERS]>> {
+        if data.len() < MIN_ADAPTATION_ROWS {
+            return None;
+        }
+        let k = self.cv_folds.clamp(2, data.len());
+        let folds = match data.groups() {
+            Some(groups) => leave_one_group_out(groups)
+                .or_else(|_| k_fold(data.len(), k, rng))
+                .ok()?,
+            None => k_fold(data.len(), k, rng).ok()?,
+        };
+        let mut out = Vec::with_capacity(folds.len());
+        for fold in &folds {
+            let train = data.subset(&fold.train);
+            let test = data.subset(&fold.test);
+            let errs = [
+                member_error(&self.forest.fit(&train, rng).ok()?, &test),
+                member_error(&self.model_tree.fit(&train, rng).ok()?, &test),
+                member_error(&self.mlp.fit(&train, rng).ok()?, &test),
+                member_error(&self.ridge.fit(&train, rng).ok()?, &test),
+            ];
+            out.push(errs);
+        }
+        Some(out)
+    }
+}
+
+/// Mean normalized error of one fitted member over a validation split —
+/// the exemplar's `abs(pred - actual) / max(1, actual)` rule, averaged.
+fn member_error<M: Regressor>(model: &M, test: &Dataset) -> f64 {
+    let preds = model.predict(test);
+    preds
+        .iter()
+        .zip(test.targets())
+        .map(|(&p, &a)| (p - a).abs() / a.abs().max(1.0))
+        .sum::<f64>()
+        / test.len() as f64
+}
+
+/// One EMA step: each weight moves toward its member's quality score —
+/// the *squared* ratio of the fold's best error to the member's own
+/// (1 for the fold winner, → 0 as a member falls behind it) — then the
+/// floor is applied so no strategy dies. Scoring *relative* to the best
+/// member is what lets the weights actually skew: in log space all
+/// absolute errors are small, and an absolute score like `1/(1+e)` leaves
+/// every member near weight 1, reducing the ensemble to a plain average
+/// of good and bad members. Squaring sharpens the skew so a member that
+/// is several times worse than the winner (ridge extrapolating energy to
+/// an unseen application) is driven to the floor, not merely discounted.
+pub fn update_weights(
+    weights: &mut [f64; NUM_MEMBERS],
+    errors: &[f64; NUM_MEMBERS],
+    learning_rate: f64,
+    floor: f64,
+) {
+    const EPS: f64 = 1e-12;
+    let best = errors.iter().fold(f64::INFINITY, |b, &e| b.min(e.max(0.0)));
+    for (w, e) in weights.iter_mut().zip(errors) {
+        let score = ((best + EPS) / (e.max(0.0) + EPS)).powi(2);
+        *w = (1.0 - learning_rate) * *w + learning_rate * score;
+        if *w < floor {
+            *w = floor;
+        }
+    }
+}
+
+/// The fitted ensemble: all four members plus their adapted voting
+/// weights. Prediction is the weighted median of the member predictions
+/// (see [`weighted_median`]).
+///
+/// # Example
+///
+/// ```
+/// use napel_ml::dataset::Dataset;
+/// use napel_ml::ensemble::EnsembleParams;
+/// use napel_ml::{Estimator, Regressor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut b = Dataset::builder(vec!["x".into()]);
+/// for i in 0..40 {
+///     let x = i as f64 / 4.0;
+///     b.push_row(vec![x], x * x + 1.0)?;
+/// }
+/// let m = EnsembleParams::default().fit(&b.build()?, &mut StdRng::seed_from_u64(1))?;
+/// assert!((m.predict_one(&[5.0]) - 26.0).abs() < 13.0);
+/// # Ok::<(), napel_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedEnsemble {
+    forest: RandomForest,
+    model_tree: ModelTree,
+    mlp: Mlp,
+    ridge: Ridge,
+    weights: [f64; NUM_MEMBERS],
+    num_features: usize,
+}
+
+impl WeightedEnsemble {
+    /// Number of features the ensemble was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// The adapted raw weights, in member order (forest, model tree, MLP,
+    /// ridge). Feed these to [`EnsembleParams::with_prior_weights`] to
+    /// resume adaptation in a later session.
+    pub fn weights(&self) -> [f64; NUM_MEMBERS] {
+        self.weights
+    }
+
+    /// The voting weights normalized to sum to 1 (each member's share of
+    /// the vote in the weighted-median combination).
+    pub fn normalized_weights(&self) -> [f64; NUM_MEMBERS] {
+        let total: f64 = self.weights.iter().sum();
+        self.weights.map(|w| w / total)
+    }
+
+    /// The forest member (the spread-based uncertainty source).
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// The model-tree member.
+    pub fn model_tree(&self) -> &ModelTree {
+        &self.model_tree
+    }
+
+    /// The MLP member.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// The ridge member.
+    pub fn ridge(&self) -> &Ridge {
+        &self.ridge
+    }
+
+    /// Rebuilds an ensemble from its serialized parts; the caller
+    /// ([`crate::persist`]) has already validated weights and member
+    /// dimensions.
+    pub(crate) fn from_parts(
+        forest: RandomForest,
+        model_tree: ModelTree,
+        mlp: Mlp,
+        ridge: Ridge,
+        weights: [f64; NUM_MEMBERS],
+        num_features: usize,
+    ) -> WeightedEnsemble {
+        WeightedEnsemble {
+            forest,
+            model_tree,
+            mlp,
+            ridge,
+            weights,
+            num_features,
+        }
+    }
+}
+
+/// Weighted median of the member predictions: sort by value, return the
+/// first prediction at which the cumulative weight reaches half the
+/// total. Voting by median instead of mean makes the ensemble robust to
+/// a single wayward member — a low-weight strategy extrapolating wildly
+/// on an input unlike anything adaptation validated on can never drag
+/// the vote past the majority's predictions, which a weighted average
+/// (even with the weight at the floor) always can.
+pub fn weighted_median(values: &[f64; NUM_MEMBERS], weights: &[f64; NUM_MEMBERS]) -> f64 {
+    let mut order: [usize; NUM_MEMBERS] = [0, 1, 2, 3];
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let half: f64 = weights.iter().sum::<f64>() / 2.0;
+    let mut cum = 0.0;
+    for &i in &order {
+        cum += weights[i];
+        if cum >= half {
+            return values[i];
+        }
+    }
+    values[order[NUM_MEMBERS - 1]]
+}
+
+impl Regressor for WeightedEnsemble {
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_features, "feature count mismatch");
+        let preds = [
+            self.forest.predict_one(x),
+            self.model_tree.predict_one(x),
+            self.mlp.predict_one(x),
+            self.ridge.predict_one(x),
+        ];
+        weighted_median(&preds, &self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn quadratic_data() -> Dataset {
+        let mut b = Dataset::builder(vec!["x".into(), "z".into()]);
+        for i in 0..60 {
+            let x = i as f64 / 6.0;
+            let z = ((i * 3) % 11) as f64;
+            b.push_row(vec![x, z], x * x + 0.5 * z + 5.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn quick_params() -> EnsembleParams {
+        EnsembleParams {
+            forest: RandomForestParams {
+                num_trees: 15,
+                ..Default::default()
+            },
+            mlp: MlpParams {
+                epochs: 30,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ensemble_fits_and_predicts_reasonably() {
+        let d = quadratic_data();
+        let m = quick_params().fit(&d, &mut rng()).unwrap();
+        let mre = crate::metrics::mean_relative_error(&m.predict(&d), d.targets());
+        assert!(mre < 0.35, "ensemble in-sample MRE {mre} too high");
+        assert_eq!(m.num_features(), 2);
+    }
+
+    #[test]
+    fn prediction_is_the_weighted_median_of_the_members() {
+        let d = quadratic_data();
+        let m = quick_params().fit(&d, &mut rng()).unwrap();
+        let x = d.row(7);
+        let preds = [
+            m.forest().predict_one(x),
+            m.model_tree().predict_one(x),
+            m.mlp().predict_one(x),
+            m.ridge().predict_one(x),
+        ];
+        let by_hand = weighted_median(&preds, &m.weights());
+        assert_eq!(m.predict_one(x).to_bits(), by_hand.to_bits());
+        let norm: f64 = m.normalized_weights().iter().sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_median_ignores_a_low_weight_outlier() {
+        // One member predicting nonsense with minority weight can never
+        // move the vote past the majority's values.
+        let v = [10.0, 11.0, 12.0, 1e9];
+        let p = weighted_median(&v, &[1.0, 1.0, 1.0, 0.1]);
+        assert_eq!(p, 11.0);
+        // Even at equal weights the median stays inside the cluster.
+        let p = weighted_median(&v, &[1.0; NUM_MEMBERS]);
+        assert_eq!(p, 11.0);
+        // A dominant-weight member carries the vote.
+        let p = weighted_median(&v, &[0.1, 0.1, 0.1, 10.0]);
+        assert_eq!(p, 1e9);
+    }
+
+    #[test]
+    fn weights_adapt_away_from_equal() {
+        let d = quadratic_data();
+        let m = quick_params().fit(&d, &mut rng()).unwrap();
+        let w = m.weights();
+        assert!(
+            w.iter().any(|&v| (v - w[0]).abs() > 1e-9),
+            "adaptation should differentiate the members: {w:?}"
+        );
+        assert!(w.iter().all(|&v| v >= DEFAULT_WEIGHT_FLOOR));
+    }
+
+    #[test]
+    fn floor_keeps_every_strategy_alive() {
+        let mut w = [1.0, 0.11, 1.0, 1.0];
+        // A terrible second member: error → score near 0.
+        for _ in 0..500 {
+            update_weights(&mut w, &[0.0, 1e9, 0.0, 0.0], 0.5, 0.1);
+        }
+        assert_eq!(w[1], 0.1, "floor must hold under sustained bad scores");
+        assert!(w[0] > 0.9, "good members converge toward score 1");
+    }
+
+    #[test]
+    fn prior_weights_resume_instead_of_reset() {
+        // Short sessions (few EMA steps) are where resuming matters: the
+        // default pass count converges to the data regardless of the
+        // start, so use a one-pass session to observe the prior's pull.
+        let params = EnsembleParams {
+            adaptation_passes: 1,
+            ..quick_params()
+        };
+        let d = quadratic_data();
+        let fresh = params.clone().fit(&d, &mut rng()).unwrap();
+        // Resume from a deliberately skewed prior: the session's EMA steps
+        // decay it toward the data-driven scores, but the prior's memory
+        // must still show — the resumed weight stays above where a fresh
+        // (equal-weight) session lands, not reset to it.
+        let prior = [3.0, 0.2, 0.2, 0.2];
+        let resumed = params
+            .with_prior_weights(prior)
+            .fit(&d, &mut rng())
+            .unwrap();
+        let w = resumed.weights();
+        assert!(
+            w[0] > fresh.weights()[0] + 0.3,
+            "resumed forest weight {} must retain the prior's pull ({} fresh)",
+            w[0],
+            fresh.weights()[0]
+        );
+        assert!(
+            w[1] < fresh.weights()[1] - 0.1,
+            "resumed weight {} must retain the low prior ({} fresh)",
+            w[1],
+            fresh.weights()[1]
+        );
+    }
+
+    #[test]
+    fn invalid_hyper_parameters_are_rejected() {
+        let d = quadratic_data();
+        for bad in [
+            EnsembleParams {
+                learning_rate: 0.0,
+                ..quick_params()
+            },
+            EnsembleParams {
+                learning_rate: 1.0,
+                ..quick_params()
+            },
+            EnsembleParams {
+                weight_floor: 0.0,
+                ..quick_params()
+            },
+            quick_params().with_prior_weights([1.0, f64::NAN, 1.0, 1.0]),
+            quick_params().with_prior_weights([1.0, -1.0, 1.0, 1.0]),
+        ] {
+            assert!(matches!(
+                bad.fit(&d, &mut rng()).unwrap_err(),
+                MlError::InvalidHyperParameter { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn tiny_datasets_skip_adaptation_but_still_fit() {
+        let mut b = Dataset::builder(vec!["x".into()]);
+        for i in 0..3 {
+            b.push_row(vec![i as f64], i as f64 + 1.0).unwrap();
+        }
+        let d = b.build().unwrap();
+        // 3 rows < MIN_ADAPTATION_ROWS: weights stay at the start, and
+        // whether the members themselves can fit decides success.
+        if let Ok(m) = quick_params().fit(&d, &mut rng()) {
+            assert_eq!(m.weights(), [1.0; NUM_MEMBERS]);
+        }
+    }
+
+    #[test]
+    fn grouped_data_adapts_on_leave_one_group_out_folds() {
+        // Two groups with different target regimes: group 0 is quadratic,
+        // group 1 linear. Under LOGO folds every member is judged on a
+        // group it never saw, so adaptation still differentiates them —
+        // and a single-group dataset must fall back to k-fold rather than
+        // silently skip adaptation.
+        let mut b = Dataset::builder(vec!["x".into()]);
+        let mut groups = Vec::new();
+        for i in 0..40 {
+            let x = i as f64 / 4.0;
+            let (y, g) = if i % 2 == 0 {
+                (x * x + 1.0, 0)
+            } else {
+                (3.0 * x + 2.0, 1)
+            };
+            b.push_row(vec![x], y).unwrap();
+            groups.push(g);
+        }
+        let d = b.build().unwrap().with_groups(groups.clone()).unwrap();
+        let m = quick_params().fit(&d, &mut rng()).unwrap();
+        let w = m.weights();
+        assert!(
+            w.iter().any(|&v| (v - w[0]).abs() > 1e-9),
+            "LOGO adaptation should differentiate the members: {w:?}"
+        );
+
+        let single = d.subset(&(0..40).step_by(2).collect::<Vec<_>>());
+        assert_eq!(single.groups().unwrap().iter().max(), Some(&0));
+        let m = quick_params().fit(&single, &mut rng()).unwrap();
+        let w = m.weights();
+        assert!(
+            w.iter().any(|&v| (v - w[0]).abs() > 1e-9),
+            "single-group data should fall back to k-fold adaptation: {w:?}"
+        );
+    }
+
+    #[test]
+    fn fit_is_deterministic_given_seed() {
+        let d = quadratic_data();
+        let a = quick_params()
+            .fit(&d, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = quick_params()
+            .fit(&d, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a.weights(), b.weights());
+        for i in 0..d.len() {
+            assert_eq!(
+                a.predict_one(d.row(i)).to_bits(),
+                b.predict_one(d.row(i)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn describe_names_all_members() {
+        let s = quick_params().describe();
+        for part in ["ensemble(", "forest(", "mlp(", "ridge("] {
+            assert!(s.contains(part), "{s}");
+        }
+    }
+}

@@ -212,6 +212,35 @@ impl RandomForest {
         (preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64).sqrt()
     }
 
+    /// Batched [`Self::prediction_std`]: mean and spread of the per-tree
+    /// predictions for every row in one pass over the forest. Each tree is
+    /// fetched once and walked across all rows (cache-friendly for wide
+    /// batches), instead of re-walking the whole ensemble per row the way
+    /// a `prediction_std` loop would. Per row the arithmetic is identical
+    /// to [`Self::prediction_std`] — per-tree predictions accumulated in
+    /// tree order, then the population standard deviation — so results are
+    /// bit-identical to the per-row path.
+    pub fn prediction_std_many(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        if self.trees.is_empty() {
+            return vec![0.0; rows.len()];
+        }
+        // Transposed accumulation: per_row[i] collects tree predictions in
+        // tree order, matching what `tree_predictions` would build row-wise.
+        let mut per_row: Vec<Vec<f64>> = vec![Vec::with_capacity(self.trees.len()); rows.len()];
+        for tree in &self.trees {
+            for (preds, x) in per_row.iter_mut().zip(rows) {
+                preds.push(tree.predict_one(x));
+            }
+        }
+        per_row
+            .iter()
+            .map(|preds| {
+                let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+                (preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64).sqrt()
+            })
+            .collect()
+    }
+
     /// Permutation feature importance on `data`: the increase in MSE when
     /// feature `j` is shuffled, for every `j`. Larger = more important.
     pub fn permutation_importance<R: Rng + ?Sized>(&self, data: &Dataset, rng: &mut R) -> Vec<f64> {
@@ -388,6 +417,35 @@ mod tests {
         };
         assert_eq!(f.tree_predictions(&[1.0, 2.0]), Vec::<f64>::new());
         assert_eq!(f.prediction_std(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn prediction_std_many_is_bit_identical_to_per_row_path() {
+        let d = nonlinear_data();
+        let f = RandomForestParams {
+            num_trees: 25,
+            ..Default::default()
+        }
+        .fit(&d, &mut rng())
+        .unwrap();
+        let rows: Vec<Vec<f64>> = (0..d.len()).map(|i| d.row(i).to_vec()).collect();
+        let batched = f.prediction_std_many(&rows);
+        assert_eq!(batched.len(), rows.len());
+        for (row, b) in rows.iter().zip(&batched) {
+            assert_eq!(
+                b.to_bits(),
+                f.prediction_std(row).to_bits(),
+                "batched spread diverges from per-row spread at {row:?}"
+            );
+        }
+        // Empty batch and zero-tree forest stay well-defined.
+        assert_eq!(f.prediction_std_many(&[]), Vec::<f64>::new());
+        let empty = RandomForest {
+            trees: vec![],
+            num_features: 2,
+            oob_mse: None,
+        };
+        assert_eq!(empty.prediction_std_many(&rows[..3]), vec![0.0; 3]);
     }
 
     #[test]

@@ -48,6 +48,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::ensemble::{WeightedEnsemble, NUM_MEMBERS};
 use crate::forest::RandomForest;
 use crate::linear::Ridge;
 use crate::log_space::LogModel;
@@ -364,6 +365,7 @@ impl_predictor!(RandomForest);
 impl_predictor!(Ridge);
 impl_predictor!(Mlp);
 impl_predictor!(ModelTree);
+impl_predictor!(WeightedEnsemble);
 
 impl<M: Predictor + Persist> Predictor for LogModel<M> {
     fn model_kind(&self) -> String {
@@ -424,6 +426,7 @@ pub fn decode_any(text: &str) -> Result<Box<dyn Predictor + Send + Sync>, Persis
         Ridge::KIND => Box::new(Ridge::read_payload(&mut r)?),
         Mlp::KIND => Box::new(Mlp::read_payload(&mut r)?),
         ModelTree::KIND => Box::new(ModelTree::read_payload(&mut r)?),
+        WeightedEnsemble::KIND => Box::new(WeightedEnsemble::read_payload(&mut r)?),
         "log" => {
             let inner = r.tok("log-wrapped model kind")?;
             match inner {
@@ -432,6 +435,9 @@ pub fn decode_any(text: &str) -> Result<Box<dyn Predictor + Send + Sync>, Persis
                 Ridge::KIND => Box::new(LogModel::new(Ridge::read_payload(&mut r)?)),
                 Mlp::KIND => Box::new(LogModel::new(Mlp::read_payload(&mut r)?)),
                 ModelTree::KIND => Box::new(LogModel::new(ModelTree::read_payload(&mut r)?)),
+                WeightedEnsemble::KIND => {
+                    Box::new(LogModel::new(WeightedEnsemble::read_payload(&mut r)?))
+                }
                 // No estimator produces a doubly-wrapped log model; a
                 // document claiming one is damaged, not merely foreign.
                 "log" => {
@@ -834,6 +840,70 @@ impl Persist for ModelTree {
     }
 }
 
+impl Persist for WeightedEnsemble {
+    const KIND: &'static str = "ensemble";
+
+    fn write_payload(&self, w: &mut Writer) {
+        w.int(self.num_features());
+        for weight in self.weights() {
+            w.float(weight);
+        }
+        // Each member payload is prefixed by its own kind token, so a
+        // reordered or truncated document fails on the token, not deep
+        // inside the wrong member's structure.
+        w.tok(RandomForest::KIND);
+        self.forest().write_payload(w);
+        w.tok(ModelTree::KIND);
+        self.model_tree().write_payload(w);
+        w.tok(Mlp::KIND);
+        self.mlp().write_payload(w);
+        w.tok(Ridge::KIND);
+        self.ridge().write_payload(w);
+    }
+
+    fn read_payload(r: &mut Reader) -> Result<Self, PersistError> {
+        let num_features = r.count("ensemble feature count")?;
+        let mut weights = [0.0; NUM_MEMBERS];
+        for (i, slot) in weights.iter_mut().enumerate() {
+            let w = r.float("ensemble weight")?;
+            if !w.is_finite() || w <= 0.0 {
+                return Err(PersistError::Corrupt {
+                    what: format!("ensemble weight {i} ({w}) is not positive and finite"),
+                });
+            }
+            *slot = w;
+        }
+        r.expect(RandomForest::KIND)?;
+        let forest = RandomForest::read_payload(r)?;
+        r.expect(ModelTree::KIND)?;
+        let model_tree = ModelTree::read_payload(r)?;
+        r.expect(Mlp::KIND)?;
+        let mlp = Mlp::read_payload(r)?;
+        r.expect(Ridge::KIND)?;
+        let ridge = Ridge::read_payload(r)?;
+        for (name, got) in [
+            ("forest", forest.num_features()),
+            ("model tree", model_tree.num_features()),
+            ("mlp", mlp.num_features()),
+            ("ridge", ridge.num_features()),
+        ] {
+            if got != num_features {
+                return Err(PersistError::Corrupt {
+                    what: format!("{name} member has {got} features, ensemble has {num_features}"),
+                });
+            }
+        }
+        Ok(WeightedEnsemble::from_parts(
+            forest,
+            model_tree,
+            mlp,
+            ridge,
+            weights,
+            num_features,
+        ))
+    }
+}
+
 impl<M: Persist + Regressor> Persist for LogModel<M> {
     const KIND: &'static str = "log";
 
@@ -950,6 +1020,66 @@ mod tests {
         let d = data();
         let m = ModelTreeParams::default().fit(&d, &mut rng()).unwrap();
         assert_round_trip(&m, &d);
+    }
+
+    fn quick_ensemble_params() -> crate::ensemble::EnsembleParams {
+        crate::ensemble::EnsembleParams {
+            forest: RandomForestParams {
+                num_trees: 6,
+                ..Default::default()
+            },
+            mlp: MlpParams {
+                epochs: 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ensemble_round_trip_preserves_weights() {
+        let d = data();
+        let m = quick_ensemble_params().fit(&d, &mut rng()).unwrap();
+        assert_round_trip(&m, &d);
+        let back: WeightedEnsemble = decode(&encode(&m)).unwrap();
+        for (a, b) in m.weights().iter().zip(back.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "weight drifted through persist");
+        }
+    }
+
+    #[test]
+    fn log_wrapped_ensemble_round_trip() {
+        let d = data();
+        let m = LogOf(quick_ensemble_params()).fit(&d, &mut rng()).unwrap();
+        assert_round_trip(&m, &d);
+        let any = decode_any(&encode(&m)).unwrap();
+        assert_eq!(any.model_kind(), "log(ensemble)");
+        assert_eq!(
+            any.predict_one(d.row(4)).to_bits(),
+            m.predict_one(d.row(4)).to_bits()
+        );
+        assert_eq!(any.encode_model(), encode(&m));
+    }
+
+    #[test]
+    fn ensemble_decode_rejects_bad_weights_and_member_order() {
+        let d = data();
+        let m = quick_ensemble_params().fit(&d, &mut rng()).unwrap();
+        let text = encode(&m);
+        // Corrupt the first weight into a NaN bit pattern.
+        let w0 = format!("{:016x}", m.weights()[0].to_bits());
+        let nan = format!("{:016x}", f64::NAN.to_bits());
+        let bad = text.replacen(&w0, &nan, 1);
+        assert!(matches!(
+            decode::<WeightedEnsemble>(&bad).unwrap_err(),
+            PersistError::Corrupt { .. }
+        ));
+        // Swap the first member's kind token: fails on the token itself.
+        let bad = text.replacen(" forest ", " mlp ", 1);
+        assert!(matches!(
+            decode::<WeightedEnsemble>(&bad).unwrap_err(),
+            PersistError::Corrupt { .. }
+        ));
     }
 
     #[test]

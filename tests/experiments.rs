@@ -211,7 +211,8 @@ fn ablation_samplers_and_sweep_run() {
     let apps = [Workload::Atax, Workload::Mvt];
     let samplers = ablation::sampler_ablation(&apps, Scale::tiny(), 3).expect("samplers");
     assert_eq!(samplers.rows.len(), ablation::Sampler::ALL.len());
-    let set = ablation::collect_with_sampler(&apps, ablation::Sampler::Ccd, Scale::tiny(), 3);
+    let set = ablation::collect_with_sampler(&apps, ablation::Sampler::Ccd, Scale::tiny(), 3)
+        .expect("CCD collection");
     let sweep = ablation::forest_size_sweep(&set, &[10, 40], 3).expect("sweep");
     assert_eq!(sweep.points.len(), 2);
 }
